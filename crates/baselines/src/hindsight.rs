@@ -1,0 +1,126 @@
+//! Hindsight: retroactive sampling of edge cases.
+//!
+//! Hindsight agents keep recent trace data in lossless local ring buffers and
+//! eagerly ship only tiny *breadcrumbs* (per-agent pointers that record which
+//! agents hold data for a trace).  When a trigger fires — here, the
+//! `is_abnormal` tag or an error span, matching how the paper wires triggers
+//! to the benchmark's injected anomalies — the breadcrumb trail is followed
+//! and the full trace data is retrieved from the agents and persisted.
+
+use crate::framework::{FrameworkReport, QueryOutcome, TracingFramework};
+use crate::ot::is_tagged_abnormal;
+use std::collections::HashMap;
+use trace_model::{TraceId, TraceSet, TraceView, WireSize};
+
+/// Size of one breadcrumb message (trace id + agent address), matching
+/// Hindsight's design goal of making the always-on path a few bytes per hop.
+const BREADCRUMB_BYTES: u64 = 16;
+
+/// The Hindsight baseline.
+#[derive(Debug, Clone, Default)]
+pub struct Hindsight {
+    stored: HashMap<TraceId, TraceView>,
+    report: FrameworkReport,
+    triggers_fired: u64,
+}
+
+impl Hindsight {
+    /// Creates the framework.
+    pub fn new() -> Self {
+        Hindsight::default()
+    }
+
+    /// Number of triggers that fired so far.
+    pub fn triggers_fired(&self) -> u64 {
+        self.triggers_fired
+    }
+}
+
+impl TracingFramework for Hindsight {
+    fn name(&self) -> &'static str {
+        "Hindsight"
+    }
+
+    fn process(&mut self, traces: &TraceSet) -> FrameworkReport {
+        for trace in traces {
+            self.report.traces += 1;
+            let bytes = trace.wire_size() as u64;
+            self.report.raw_bytes += bytes;
+            // One breadcrumb per agent (service) the request touched.
+            let agents = trace.services().len() as u64;
+            self.report.network_bytes += BREADCRUMB_BYTES * agents;
+            if is_tagged_abnormal(trace) {
+                // Trigger: retrieve the full trace data from the agents'
+                // local buffers and persist it.
+                self.triggers_fired += 1;
+                self.report.network_bytes += bytes;
+                self.report.storage_bytes += bytes;
+                self.report.retained_traces += 1;
+                self.stored.insert(trace.trace_id(), TraceView::from(trace));
+            }
+        }
+        self.report
+    }
+
+    fn report(&self) -> FrameworkReport {
+        self.report
+    }
+
+    fn query(&self, trace_id: TraceId) -> QueryOutcome {
+        if self.stored.contains_key(&trace_id) {
+            QueryOutcome::ExactHit
+        } else {
+            QueryOutcome::Miss
+        }
+    }
+
+    fn analysis_views(&self) -> Vec<TraceView> {
+        self.stored.values().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::{online_boutique, GeneratorConfig, TraceGenerator};
+
+    fn traces(n: usize) -> TraceSet {
+        TraceGenerator::new(
+            online_boutique(),
+            GeneratorConfig::default().with_seed(71).with_abnormal_rate(0.05),
+        )
+        .generate(n)
+    }
+
+    #[test]
+    fn hindsight_network_is_breadcrumbs_plus_triggered() {
+        let traces = traces(800);
+        let mut framework = Hindsight::new();
+        let report = framework.process(&traces);
+        // Much cheaper than full export, slightly more than nothing.
+        assert!(report.network_ratio() < 0.25, "network {}", report.network_ratio());
+        assert!(report.network_bytes > report.storage_bytes);
+        assert!(report.storage_ratio() < 0.25, "storage {}", report.storage_ratio());
+        assert_eq!(report.retained_traces, framework.triggers_fired());
+    }
+
+    #[test]
+    fn only_triggered_traces_are_queryable() {
+        let traces = traces(300);
+        let mut framework = Hindsight::new();
+        framework.process(&traces);
+        for trace in &traces {
+            let outcome = framework.query(trace.trace_id());
+            if is_tagged_abnormal(trace) {
+                assert!(outcome.is_exact());
+            } else {
+                assert_eq!(outcome, QueryOutcome::Miss);
+            }
+        }
+    }
+
+    #[test]
+    fn name_matches_paper_label() {
+        assert_eq!(Hindsight::new().name(), "Hindsight");
+    }
+}

@@ -1,0 +1,48 @@
+//! Baseline tracing frameworks used in the paper's evaluation, plus a Mint
+//! adapter, all behind one [`TracingFramework`] trait so the experiment
+//! harness can drive them with identical workloads and measure them with the
+//! same wire-size ruler.
+//!
+//! Implemented frameworks (§5 "Baselines and implementation"):
+//!
+//! * [`OtFull`] — OpenTelemetry with 100% sampling (the no-reduction
+//!   reference).
+//! * [`OtHead`] — OpenTelemetry head sampling (default 5%).
+//! * [`OtTail`] — OpenTelemetry tail sampling: everything crosses the
+//!   network, only tagged/abnormal traces are stored.
+//! * [`Sieve`] — attention-based tail sampling using a robust-random-cut
+//!   forest anomaly score over per-trace features.
+//! * [`Hindsight`] — retroactive sampling: lossless agent-side ring buffers,
+//!   breadcrumbs shipped eagerly, full data retrieved only for triggered
+//!   traces.
+//! * [`MintFramework`] — the adapter that runs a full
+//!   [`mint_core::MintDeployment`] behind the same trait.
+//!
+//! # Example
+//!
+//! ```
+//! use baselines::{OtHead, TracingFramework};
+//! use workload::{online_boutique, GeneratorConfig, TraceGenerator};
+//!
+//! let traces = TraceGenerator::new(online_boutique(), GeneratorConfig::default()).generate(100);
+//! let mut framework = OtHead::new(0.05);
+//! let report = framework.process(&traces);
+//! assert!(report.storage_bytes < report.raw_bytes);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod framework;
+mod hindsight;
+mod mint_adapter;
+mod ot;
+mod rrcf;
+mod sieve;
+
+pub use framework::{FrameworkReport, QueryOutcome, TracingFramework};
+pub use hindsight::Hindsight;
+pub use mint_adapter::MintFramework;
+pub use ot::{OtFull, OtHead, OtTail};
+pub use rrcf::RandomCutForest;
+pub use sieve::Sieve;

@@ -1,0 +1,162 @@
+//! The Mint adapter: runs a full [`MintDeployment`] behind the comparison
+//! trait so the experiment harness can treat Mint exactly like the baselines.
+
+use crate::framework::{FrameworkReport, QueryOutcome, TracingFramework};
+use mint_core::{MintConfig, MintDeployment, QueryResult};
+use std::collections::HashSet;
+use trace_model::{SpanView, TraceId, TraceSet, TraceView, WireSize};
+
+/// Mint behind the [`TracingFramework`] trait.
+#[derive(Debug, Clone)]
+pub struct MintFramework {
+    deployment: MintDeployment,
+    processed_ids: HashSet<TraceId>,
+}
+
+impl MintFramework {
+    /// Creates the adapter with the given Mint configuration.
+    pub fn new(config: MintConfig) -> Self {
+        MintFramework {
+            deployment: MintDeployment::new(config),
+            processed_ids: HashSet::new(),
+        }
+    }
+
+    /// Creates the adapter with the default Mint configuration.
+    pub fn with_defaults() -> Self {
+        MintFramework::new(MintConfig::default())
+    }
+
+    /// The underlying deployment (for pattern statistics and direct queries).
+    pub fn deployment(&self) -> &MintDeployment {
+        &self.deployment
+    }
+
+    fn view_for(&self, trace_id: TraceId) -> Option<TraceView> {
+        match self.deployment.backend().query(trace_id) {
+            QueryResult::Exact(trace) => Some(TraceView::from(&trace)),
+            QueryResult::Approximate(approx) => {
+                let spans: Vec<SpanView> = approx
+                    .spans
+                    .iter()
+                    .map(|s| SpanView {
+                        service: s.service.clone(),
+                        operation: s.name.clone(),
+                        duration_us: s.duration_estimate_us(),
+                        is_error: false,
+                    })
+                    .collect();
+                let duration_us = spans.iter().map(|s| s.duration_us).max().unwrap_or(0);
+                Some(TraceView {
+                    trace_id,
+                    exact: false,
+                    duration_us,
+                    spans,
+                })
+            }
+            QueryResult::Miss => None,
+        }
+    }
+}
+
+impl TracingFramework for MintFramework {
+    fn name(&self) -> &'static str {
+        "Mint"
+    }
+
+    fn process(&mut self, traces: &TraceSet) -> FrameworkReport {
+        for trace in traces {
+            self.processed_ids.insert(trace.trace_id());
+            let _ = trace.wire_size();
+        }
+        self.deployment.process(traces);
+        self.report()
+    }
+
+    fn report(&self) -> FrameworkReport {
+        let report = self.deployment.report();
+        FrameworkReport {
+            network_bytes: report.network.total_bytes(),
+            storage_bytes: report.storage.total_bytes(),
+            raw_bytes: report.raw_trace_bytes,
+            traces: report.traces,
+            retained_traces: report.sampled_traces,
+        }
+    }
+
+    fn query(&self, trace_id: TraceId) -> QueryOutcome {
+        match self.deployment.backend().query(trace_id) {
+            QueryResult::Exact(_) => QueryOutcome::ExactHit,
+            QueryResult::Approximate(_) => QueryOutcome::PartialHit,
+            QueryResult::Miss => QueryOutcome::Miss,
+        }
+    }
+
+    fn analysis_views(&self) -> Vec<TraceView> {
+        self.processed_ids
+            .iter()
+            .filter_map(|id| self.view_for(*id))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::{online_boutique, GeneratorConfig, TraceGenerator};
+
+    fn traces(n: usize) -> TraceSet {
+        TraceGenerator::new(
+            online_boutique(),
+            GeneratorConfig::default().with_seed(81).with_abnormal_rate(0.05),
+        )
+        .generate(n)
+    }
+
+    #[test]
+    fn mint_answers_every_query_at_least_partially() {
+        let traces = traces(300);
+        let mut mint = MintFramework::with_defaults();
+        mint.process(&traces);
+        let mut exact = 0;
+        let mut partial = 0;
+        for trace in &traces {
+            match mint.query(trace.trace_id()) {
+                QueryOutcome::ExactHit => exact += 1,
+                QueryOutcome::PartialHit => partial += 1,
+                QueryOutcome::Miss => panic!("mint missed {}", trace.trace_id()),
+            }
+        }
+        assert!(exact > 0);
+        assert!(partial > 0);
+        assert_eq!(exact + partial, 300);
+    }
+
+    #[test]
+    fn analysis_views_cover_all_traces() {
+        let traces = traces(200);
+        let mut mint = MintFramework::with_defaults();
+        mint.process(&traces);
+        let views = mint.analysis_views();
+        assert_eq!(views.len(), 200);
+        assert!(views.iter().any(|v| v.exact));
+        assert!(views.iter().any(|v| !v.exact));
+        // Approximate views still carry service-level structure.
+        for view in views.iter().filter(|v| !v.exact) {
+            assert!(!view.spans.is_empty());
+            assert!(view.spans.iter().all(|s| !s.service.is_empty()));
+        }
+    }
+
+    #[test]
+    fn report_matches_deployment_counters() {
+        let traces = traces(150);
+        let mut mint = MintFramework::with_defaults();
+        let report = mint.process(&traces);
+        assert_eq!(report.traces, 150);
+        assert_eq!(report.raw_bytes, traces.total_wire_size() as u64);
+        assert!(report.retained_traces < report.traces);
+        assert_eq!(mint.name(), "Mint");
+        assert!(mint.deployment().agents().count() >= 5);
+    }
+}

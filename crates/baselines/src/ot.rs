@@ -1,0 +1,266 @@
+//! OpenTelemetry-style baselines: full export, head sampling, tail sampling.
+
+use crate::framework::{FrameworkReport, QueryOutcome, TracingFramework};
+use mint_core::HeadSampler;
+use std::collections::HashMap;
+use trace_model::{Trace, TraceId, TraceSet, TraceView, WireSize};
+
+/// Whether the workload tagged a trace as abnormal (the benchmark tags 5% of
+/// requests with `is_abnormal = true` so biased samplers have a consistent
+/// target set, §5.1).
+pub(crate) fn is_tagged_abnormal(trace: &Trace) -> bool {
+    trace
+        .root()
+        .and_then(|r| r.attributes().get("is_abnormal"))
+        .and_then(|v| v.as_bool())
+        .unwrap_or(false)
+        || trace.has_error()
+}
+
+/// Shared storage/bookkeeping for the OpenTelemetry-style baselines.
+#[derive(Debug, Clone, Default)]
+struct OtState {
+    stored: HashMap<TraceId, TraceView>,
+    report: FrameworkReport,
+}
+
+impl OtState {
+    fn store(&mut self, trace: &Trace) {
+        self.report.storage_bytes += trace.wire_size() as u64;
+        self.report.retained_traces += 1;
+        self.stored.insert(trace.trace_id(), TraceView::from(trace));
+    }
+
+    fn account_trace(&mut self, trace: &Trace) {
+        self.report.traces += 1;
+        self.report.raw_bytes += trace.wire_size() as u64;
+    }
+
+    fn query(&self, trace_id: TraceId) -> QueryOutcome {
+        if self.stored.contains_key(&trace_id) {
+            QueryOutcome::ExactHit
+        } else {
+            QueryOutcome::Miss
+        }
+    }
+
+    fn views(&self) -> Vec<TraceView> {
+        self.stored.values().cloned().collect()
+    }
+}
+
+/// OpenTelemetry with a 100% sampling rate: every span crosses the network
+/// and is stored verbatim.  The no-reduction reference (`OT-Full`).
+#[derive(Debug, Clone, Default)]
+pub struct OtFull {
+    state: OtState,
+}
+
+impl OtFull {
+    /// Creates the framework.
+    pub fn new() -> Self {
+        OtFull::default()
+    }
+}
+
+impl TracingFramework for OtFull {
+    fn name(&self) -> &'static str {
+        "OT-Full"
+    }
+
+    fn process(&mut self, traces: &TraceSet) -> FrameworkReport {
+        for trace in traces {
+            self.state.account_trace(trace);
+            self.state.report.network_bytes += trace.wire_size() as u64;
+            self.state.store(trace);
+        }
+        self.report()
+    }
+
+    fn report(&self) -> FrameworkReport {
+        self.state.report
+    }
+
+    fn query(&self, trace_id: TraceId) -> QueryOutcome {
+        self.state.query(trace_id)
+    }
+
+    fn analysis_views(&self) -> Vec<TraceView> {
+        self.state.views()
+    }
+}
+
+/// OpenTelemetry head sampling (`OT-Head`): the keep/drop decision is made at
+/// trace creation, so unsampled traces never reach the network.
+#[derive(Debug, Clone)]
+pub struct OtHead {
+    sampler: HeadSampler,
+    state: OtState,
+}
+
+impl OtHead {
+    /// Creates the framework with the given head-sampling rate (paper
+    /// default: 5%).
+    pub fn new(rate: f64) -> Self {
+        OtHead {
+            sampler: HeadSampler::new(rate),
+            state: OtState::default(),
+        }
+    }
+
+    /// The configured sampling rate.
+    pub fn rate(&self) -> f64 {
+        self.sampler.rate()
+    }
+}
+
+impl TracingFramework for OtHead {
+    fn name(&self) -> &'static str {
+        "OT-Head"
+    }
+
+    fn process(&mut self, traces: &TraceSet) -> FrameworkReport {
+        for trace in traces {
+            self.state.account_trace(trace);
+            if self.sampler.decide(trace.trace_id()) {
+                self.state.report.network_bytes += trace.wire_size() as u64;
+                self.state.store(trace);
+            }
+        }
+        self.report()
+    }
+
+    fn report(&self) -> FrameworkReport {
+        self.state.report
+    }
+
+    fn query(&self, trace_id: TraceId) -> QueryOutcome {
+        self.state.query(trace_id)
+    }
+
+    fn analysis_views(&self) -> Vec<TraceView> {
+        self.state.views()
+    }
+}
+
+/// OpenTelemetry tail sampling (`OT-Tail`): every span is exported to the
+/// collector (full network cost); only traces matching the user-defined
+/// filter — here the `is_abnormal` tag, as in the paper's setup — are stored.
+#[derive(Debug, Clone, Default)]
+pub struct OtTail {
+    state: OtState,
+}
+
+impl OtTail {
+    /// Creates the framework.
+    pub fn new() -> Self {
+        OtTail::default()
+    }
+}
+
+impl TracingFramework for OtTail {
+    fn name(&self) -> &'static str {
+        "OT-Tail"
+    }
+
+    fn process(&mut self, traces: &TraceSet) -> FrameworkReport {
+        for trace in traces {
+            self.state.account_trace(trace);
+            self.state.report.network_bytes += trace.wire_size() as u64;
+            if is_tagged_abnormal(trace) {
+                self.state.store(trace);
+            }
+        }
+        self.report()
+    }
+
+    fn report(&self) -> FrameworkReport {
+        self.state.report
+    }
+
+    fn query(&self, trace_id: TraceId) -> QueryOutcome {
+        self.state.query(trace_id)
+    }
+
+    fn analysis_views(&self) -> Vec<TraceView> {
+        self.state.views()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::{online_boutique, GeneratorConfig, TraceGenerator};
+
+    fn traces(n: usize) -> TraceSet {
+        TraceGenerator::new(
+            online_boutique(),
+            GeneratorConfig::default().with_seed(51).with_abnormal_rate(0.05),
+        )
+        .generate(n)
+    }
+
+    #[test]
+    fn ot_full_stores_everything() {
+        let traces = traces(100);
+        let mut framework = OtFull::new();
+        let report = framework.process(&traces);
+        assert_eq!(report.traces, 100);
+        assert_eq!(report.retained_traces, 100);
+        assert_eq!(report.network_bytes, report.raw_bytes);
+        assert_eq!(report.storage_bytes, report.raw_bytes);
+        assert!(framework.query(traces.traces()[0].trace_id()).is_exact());
+        assert_eq!(framework.analysis_views().len(), 100);
+    }
+
+    #[test]
+    fn ot_head_reduces_both_network_and_storage() {
+        let traces = traces(1_000);
+        let mut framework = OtHead::new(0.05);
+        let report = framework.process(&traces);
+        assert!(report.network_ratio() < 0.12, "network {}", report.network_ratio());
+        assert!(report.storage_ratio() < 0.12, "storage {}", report.storage_ratio());
+        let retention = report.retention_rate();
+        assert!((0.02..0.09).contains(&retention), "retention {retention}");
+        // Unsampled traces are gone.
+        let misses = traces
+            .iter()
+            .filter(|t| framework.query(t.trace_id()) == QueryOutcome::Miss)
+            .count();
+        assert!(misses > 800);
+    }
+
+    #[test]
+    fn ot_tail_keeps_network_but_cuts_storage() {
+        let traces = traces(500);
+        let mut framework = OtTail::new();
+        let report = framework.process(&traces);
+        assert_eq!(report.network_bytes, report.raw_bytes);
+        assert!(report.storage_ratio() < 0.25, "storage {}", report.storage_ratio());
+        // Only abnormal traces are queryable.
+        for trace in &traces {
+            let outcome = framework.query(trace.trace_id());
+            if is_tagged_abnormal(trace) {
+                assert!(outcome.is_exact());
+            } else {
+                assert_eq!(outcome, QueryOutcome::Miss);
+            }
+        }
+    }
+
+    #[test]
+    fn names_match_paper_labels() {
+        assert_eq!(OtFull::new().name(), "OT-Full");
+        assert_eq!(OtHead::new(0.05).name(), "OT-Head");
+        assert_eq!(OtTail::new().name(), "OT-Tail");
+        assert!((OtHead::new(0.05).rate() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn processing_accumulates_across_batches() {
+        let mut framework = OtFull::new();
+        framework.process(&traces(50));
+        let report = framework.process(&traces(50));
+        assert_eq!(report.traces, 100);
+    }
+}

@@ -1,0 +1,193 @@
+//! A compact robust-random-cut-forest anomaly scorer.
+//!
+//! Sieve samples "uncommon" traces by scoring per-trace feature vectors with
+//! a robust random cut forest (RRCF).  This implementation keeps the parts
+//! that matter for that use case: an ensemble of random-cut trees built over
+//! subsamples of the data, with cut dimensions chosen proportionally to the
+//! per-dimension range (the "robust" part of RRCF), and an isolation-depth
+//! score — points isolated near the root are anomalous.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        size: usize,
+    },
+    Split {
+        dimension: usize,
+        cut: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+fn build_node<R: Rng>(points: &mut [Vec<f64>], depth: usize, max_depth: usize, rng: &mut R) -> Node {
+    if points.len() <= 1 || depth >= max_depth {
+        return Node::Leaf { size: points.len() };
+    }
+    let dims = points[0].len();
+    // Per-dimension ranges.
+    let mut ranges = vec![(f64::INFINITY, f64::NEG_INFINITY); dims];
+    for point in points.iter() {
+        for (d, &value) in point.iter().enumerate() {
+            ranges[d].0 = ranges[d].0.min(value);
+            ranges[d].1 = ranges[d].1.max(value);
+        }
+    }
+    let spans: Vec<f64> = ranges.iter().map(|(lo, hi)| (hi - lo).max(0.0)).collect();
+    let total: f64 = spans.iter().sum();
+    if total <= 0.0 {
+        return Node::Leaf { size: points.len() };
+    }
+    // Choose the cut dimension proportionally to its range.
+    let mut target = rng.gen_range(0.0..total);
+    let mut dimension = 0;
+    for (d, span) in spans.iter().enumerate() {
+        if target < *span {
+            dimension = d;
+            break;
+        }
+        target -= span;
+    }
+    let (lo, hi) = ranges[dimension];
+    let cut = rng.gen_range(lo..hi);
+    let (mut left, mut right): (Vec<Vec<f64>>, Vec<Vec<f64>>) = points
+        .iter()
+        .cloned()
+        .partition(|p| p[dimension] <= cut);
+    if left.is_empty() || right.is_empty() {
+        return Node::Leaf { size: points.len() };
+    }
+    Node::Split {
+        dimension,
+        cut,
+        left: Box::new(build_node(&mut left, depth + 1, max_depth, rng)),
+        right: Box::new(build_node(&mut right, depth + 1, max_depth, rng)),
+    }
+}
+
+fn path_depth(node: &Node, point: &[f64], depth: f64) -> f64 {
+    match node {
+        Node::Leaf { size } => depth + average_path_length(*size),
+        Node::Split {
+            dimension,
+            cut,
+            left,
+            right,
+        } => {
+            if point.get(*dimension).copied().unwrap_or(0.0) <= *cut {
+                path_depth(left, point, depth + 1.0)
+            } else {
+                path_depth(right, point, depth + 1.0)
+            }
+        }
+    }
+}
+
+/// Expected path length of an unsuccessful BST search over `n` points; the
+/// standard isolation-forest normalizer.
+fn average_path_length(n: usize) -> f64 {
+    if n <= 1 {
+        0.0
+    } else {
+        let n = n as f64;
+        2.0 * ((n - 1.0).ln() + 0.577_215_664_9) - 2.0 * (n - 1.0) / n
+    }
+}
+
+/// An ensemble of random-cut trees producing anomaly scores in `(0, 1)`.
+/// Higher scores indicate more anomalous (easier to isolate) points.
+#[derive(Debug, Clone)]
+pub struct RandomCutForest {
+    trees: Vec<Node>,
+    sample_size: usize,
+}
+
+impl RandomCutForest {
+    /// Fits a forest of `num_trees` trees, each built on a random subsample
+    /// of at most `sample_size` points.
+    pub fn fit(points: &[Vec<f64>], num_trees: usize, sample_size: usize, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let sample_size = sample_size.clamp(2, points.len().max(2));
+        let max_depth = (sample_size as f64).log2().ceil() as usize + 4;
+        let trees = (0..num_trees.max(1))
+            .map(|_| {
+                let mut sample: Vec<Vec<f64>> = (0..sample_size)
+                    .map(|_| points[rng.gen_range(0..points.len())].clone())
+                    .collect();
+                build_node(&mut sample, 0, max_depth, &mut rng)
+            })
+            .collect();
+        RandomCutForest { trees, sample_size }
+    }
+
+    /// The anomaly score of `point`: `2^(-avg_depth / c(sample_size))`.
+    pub fn score(&self, point: &[f64]) -> f64 {
+        if self.trees.is_empty() {
+            return 0.5;
+        }
+        let avg_depth: f64 = self
+            .trees
+            .iter()
+            .map(|t| path_depth(t, point, 0.0))
+            .sum::<f64>()
+            / self.trees.len() as f64;
+        let normalizer = average_path_length(self.sample_size).max(1.0);
+        2f64.powf(-avg_depth / normalizer)
+    }
+
+    /// Number of trees in the ensemble.
+    pub fn tree_count(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster_with_outlier() -> Vec<Vec<f64>> {
+        let mut points: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![10.0 + (i % 7) as f64 * 0.1, 5.0 + (i % 5) as f64 * 0.1])
+            .collect();
+        points.push(vec![500.0, 300.0]);
+        points
+    }
+
+    #[test]
+    fn outliers_score_higher_than_inliers() {
+        let points = cluster_with_outlier();
+        let forest = RandomCutForest::fit(&points, 32, 128, 7);
+        let inlier = forest.score(&[10.2, 5.2]);
+        let outlier = forest.score(&[500.0, 300.0]);
+        assert!(outlier > inlier, "outlier {outlier} inlier {inlier}");
+        assert!(forest.tree_count() == 32);
+    }
+
+    #[test]
+    fn scores_are_bounded() {
+        let points = cluster_with_outlier();
+        let forest = RandomCutForest::fit(&points, 16, 64, 3);
+        for point in &points {
+            let score = forest.score(point);
+            assert!((0.0..=1.0).contains(&score), "score {score}");
+        }
+    }
+
+    #[test]
+    fn degenerate_identical_points_do_not_panic() {
+        let points = vec![vec![1.0, 1.0]; 50];
+        let forest = RandomCutForest::fit(&points, 8, 32, 1);
+        let score = forest.score(&[1.0, 1.0]);
+        assert!((0.0..=1.0).contains(&score));
+    }
+
+    #[test]
+    fn average_path_length_is_monotone() {
+        assert_eq!(average_path_length(1), 0.0);
+        assert!(average_path_length(10) > average_path_length(2));
+        assert!(average_path_length(1000) > average_path_length(100));
+    }
+}

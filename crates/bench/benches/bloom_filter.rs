@@ -1,0 +1,67 @@
+//! Criterion micro-benchmarks of the Bloom filter used for metadata
+//! mounting: insert and membership-probe throughput at the paper's default
+//! configuration (4 KiB buffer, 1% false-positive probability).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use mint_bloom::BloomFilter;
+
+fn bench_insert(c: &mut Criterion) {
+    let ids: Vec<u128> = (0..4_096u128).collect();
+    let mut group = c.benchmark_group("bloom");
+    group.throughput(Throughput::Elements(ids.len() as u64));
+    group.bench_function("insert_4k_trace_ids", |b| {
+        b.iter_batched(
+            || BloomFilter::with_byte_budget(4 * 1024, 0.01),
+            |mut filter| {
+                for id in &ids {
+                    filter.insert(id);
+                }
+                filter
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    let mut filled = BloomFilter::with_byte_budget(4 * 1024, 0.01);
+    for id in &ids {
+        filled.insert(id);
+    }
+    group.bench_function("probe_4k_trace_ids", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for id in &ids {
+                if filled.contains(id) {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    group.finish();
+}
+
+fn bench_merge_and_reset(c: &mut Criterion) {
+    let mut a = BloomFilter::with_byte_budget(4 * 1024, 0.01);
+    let mut b_filter = BloomFilter::with_byte_budget(4 * 1024, 0.01);
+    for id in 0..2_000u128 {
+        a.insert(&id);
+        b_filter.insert(&(id + 10_000));
+    }
+    c.bench_function("bloom_merge", |bencher| {
+        bencher.iter_batched(
+            || a.clone(),
+            |mut merged| {
+                merged.merge(&b_filter);
+                merged
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_insert, bench_merge_and_reset
+);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! End-to-end pipeline benchmarks: per-request cost of a full Mint deployment
+//! versus the OpenTelemetry head-sampling baseline, backing Fig. 14/15's
+//! claim that Mint's agent-side work is cheap enough for production use.
+
+use baselines::{MintFramework, OtHead, TracingFramework};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use mint_core::MintConfig;
+use workload::{online_boutique, GeneratorConfig, TraceGenerator};
+
+fn workload(n: usize) -> trace_model::TraceSet {
+    TraceGenerator::new(
+        online_boutique(),
+        GeneratorConfig::default().with_seed(99).with_abnormal_rate(0.05),
+    )
+    .generate(n)
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let traces = workload(300);
+    let mut group = c.benchmark_group("pipeline");
+    group.throughput(Throughput::Elements(traces.len() as u64));
+    group.sample_size(10);
+
+    group.bench_function("mint_process_300_traces", |b| {
+        b.iter_batched(
+            || MintFramework::new(MintConfig::default()),
+            |mut mint| {
+                mint.process(&traces);
+                mint
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("ot_head_process_300_traces", |b| {
+        b.iter_batched(
+            || OtHead::new(0.05),
+            |mut ot| {
+                ot.process(&traces);
+                ot
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_query_path(c: &mut Criterion) {
+    let traces = workload(400);
+    let mut mint = MintFramework::new(MintConfig::default());
+    mint.process(&traces);
+    let ids: Vec<_> = traces.iter().map(|t| t.trace_id()).collect();
+
+    let mut group = c.benchmark_group("query");
+    group.throughput(Throughput::Elements(ids.len() as u64));
+    group.bench_function("mint_query_all_traces", |b| {
+        b.iter(|| {
+            let mut exact = 0usize;
+            for id in &ids {
+                if mint.query(*id).is_exact() {
+                    exact += 1;
+                }
+            }
+            exact
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end, bench_query_path);
+criterion_main!(benches);

@@ -1,0 +1,144 @@
+//! Criterion micro-benchmarks of Mint's hot agent-side path: hierarchical
+//! attribute parsing, span pattern mapping and topology encoding.  These back
+//! the performance claims of §5.4 (Mint is cheap enough for production) and
+//! provide the prefix-index vs linear-scan ablation for the design choice in
+//! §3.2.1.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use mint_core::span_parser::{StringAttributeParser, StringTemplate};
+use mint_core::{MintConfig, SpanParser, TraceParser};
+use std::collections::HashMap;
+use trace_model::{PatternId, SpanId, SubTrace};
+use workload::{online_boutique, GeneratorConfig, TraceGenerator};
+
+fn workload_spans(n: usize) -> Vec<trace_model::Span> {
+    let mut generator = TraceGenerator::new(
+        online_boutique(),
+        GeneratorConfig::default().with_seed(123).with_abnormal_rate(0.02),
+    );
+    generator
+        .generate(n)
+        .iter()
+        .flat_map(|t| t.spans().to_vec())
+        .collect()
+}
+
+fn bench_span_parsing(c: &mut Criterion) {
+    let spans = workload_spans(300);
+    let mut group = c.benchmark_group("span_parser");
+    group.throughput(Throughput::Elements(spans.len() as u64));
+    group.bench_function("parse_spans_warm", |b| {
+        b.iter_batched(
+            || {
+                let mut parser = SpanParser::new(&MintConfig::default());
+                parser.warm_up(&spans[..spans.len().min(500)]);
+                parser
+            },
+            |mut parser| {
+                for span in &spans {
+                    let _ = parser.parse(span);
+                }
+                parser
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_attribute_matching_ablation(c: &mut Criterion) {
+    // The design-choice ablation: prefix-index candidate pruning vs scoring
+    // every template linearly.
+    let values: Vec<String> = (0..64)
+        .map(|i| format!("SELECT col{} FROM table{} WHERE tenant = {} AND id = {}", i % 8, i % 16, i, i * 97))
+        .collect();
+    let probe: Vec<String> = (0..512)
+        .map(|i| format!("SELECT col{} FROM table{} WHERE tenant = {} AND id = {}", i % 8, i % 16, i, i * 13))
+        .collect();
+
+    let mut group = c.benchmark_group("attribute_matching");
+    group.throughput(Throughput::Elements(probe.len() as u64));
+    for (label, linear) in [("prefix_index", false), ("linear_scan", true)] {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    let mut parser = if linear {
+                        StringAttributeParser::new(0.8).with_linear_scan()
+                    } else {
+                        StringAttributeParser::new(0.8)
+                    };
+                    for value in &values {
+                        parser.parse(value);
+                    }
+                    parser
+                },
+                |mut parser| {
+                    for value in &probe {
+                        let _ = parser.parse(value);
+                    }
+                    parser
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_topology_encoding(c: &mut Criterion) {
+    let mut generator = TraceGenerator::new(
+        online_boutique(),
+        GeneratorConfig::default().with_seed(7).with_abnormal_rate(0.0),
+    );
+    let traces = generator.generate(200);
+    let subs: Vec<SubTrace> = traces.iter().flat_map(SubTrace::split_by_service).collect();
+    let mappings: Vec<HashMap<SpanId, PatternId>> = subs
+        .iter()
+        .map(|sub| {
+            sub.spans()
+                .iter()
+                .map(|s| (s.span_id(), PatternId::from_u128(s.name().len() as u128 + 1)))
+                .collect()
+        })
+        .collect();
+    let parser = TraceParser::new();
+
+    let mut group = c.benchmark_group("trace_parser");
+    group.throughput(Throughput::Elements(subs.len() as u64));
+    group.bench_function("encode_sub_traces", |b| {
+        b.iter(|| {
+            let mut nodes = 0;
+            for (sub, mapping) in subs.iter().zip(mappings.iter()) {
+                nodes += parser.encode(sub, mapping).node_count();
+            }
+            nodes
+        })
+    });
+    group.finish();
+}
+
+fn bench_template_extraction(c: &mut Criterion) {
+    let template = {
+        let mut t = StringTemplate::from_raw_tokens(&mint_core::tokenize(
+            "SELECT * FROM orders WHERE tenant = 17 AND id = 999",
+        ));
+        t.generalize(&mint_core::tokenize(
+            "SELECT * FROM shipments WHERE tenant = 3 AND id = 4",
+        ));
+        t
+    };
+    let tokens = mint_core::tokenize("SELECT * FROM payments WHERE tenant = 9 AND id = 123456");
+    c.bench_function("template_match_and_extract", |b| {
+        b.iter(|| template.match_and_extract(&tokens))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_span_parsing,
+        bench_attribute_matching_ablation,
+        bench_topology_encoding,
+        bench_template_extraction
+);
+criterion_main!(benches);

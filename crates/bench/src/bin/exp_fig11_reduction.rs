@@ -1,0 +1,122 @@
+//! Figure 11: tracing network and storage overhead versus request throughput
+//! on OnlineBoutique and TrainTicket for six tracing frameworks.
+//!
+//! For each throughput level the harness drives every framework with the
+//! *same* generated trace stream (5% of traffic tagged abnormal, as in the
+//! paper's setup) and reports:
+//!
+//! * the storage written by the tracing backend, extrapolated to MB/min at
+//!   the nominal throughput;
+//! * the network bandwidth between application nodes and the backend,
+//!   likewise extrapolated;
+//! * both as a percentage of the raw (OT-Full) trace volume.
+//!
+//! Absolute numbers come from the simulator's wire-size model; the paper's
+//! claims to check are relative: head sampling ≈ its sampling rate on both
+//! axes, tail sampling/Sieve pay full network cost, Hindsight is cheap on
+//! both but above head sampling on network, and Mint is the cheapest
+//! (≈2.7% storage, ≈4.2% network on average).
+
+use bench::{all_frameworks, fmt_pct, print_table, ExpConfig};
+use workload::{online_boutique, train_ticket, Application, GeneratorConfig, TraceGenerator};
+
+struct Cell {
+    framework: &'static str,
+    storage_mb_per_min: f64,
+    network_mb_per_min: f64,
+    storage_ratio: f64,
+    network_ratio: f64,
+}
+
+fn run_benchmark(app: Application, cfg: &ExpConfig) -> Vec<(u64, Vec<Cell>)> {
+    let throughputs: [u64; 5] = [20_000, 40_000, 60_000, 80_000, 100_000];
+    let mut results = Vec::new();
+    for (tp_index, &throughput) in throughputs.iter().enumerate() {
+        // Simulate a 1-minute window at a reduced request count; ratios are
+        // what matters and they are extrapolated back to the nominal rate.
+        let requests = cfg.scaled((throughput / 50) as usize);
+        let generator_config = GeneratorConfig::default()
+            .with_seed(cfg.seed + tp_index as u64 * 17)
+            .with_abnormal_rate(0.05)
+            .with_mean_interarrival_us(60_000_000 / throughput.max(1));
+        let mut generator = TraceGenerator::new(app.clone(), generator_config);
+        let traces = generator.generate(requests);
+        let raw_bytes = traces.total_wire_size() as f64;
+        let bytes_per_request = raw_bytes / requests as f64;
+        let raw_mb_per_min = bytes_per_request * throughput as f64 / 1e6;
+
+        let mut cells = Vec::new();
+        for mut framework in all_frameworks() {
+            let report = framework.process(&traces);
+            cells.push(Cell {
+                framework: framework.name(),
+                storage_mb_per_min: raw_mb_per_min * report.storage_ratio(),
+                network_mb_per_min: raw_mb_per_min * report.network_ratio(),
+                storage_ratio: report.storage_ratio(),
+                network_ratio: report.network_ratio(),
+            });
+        }
+        results.push((throughput, cells));
+    }
+    results
+}
+
+fn print_benchmark(name: &str, results: &[(u64, Vec<Cell>)]) {
+    let mut storage_rows = Vec::new();
+    let mut network_rows = Vec::new();
+    for (throughput, cells) in results {
+        for cell in cells {
+            storage_rows.push(vec![
+                throughput.to_string(),
+                cell.framework.to_owned(),
+                format!("{:.1}", cell.storage_mb_per_min),
+                fmt_pct(cell.storage_ratio),
+            ]);
+            network_rows.push(vec![
+                throughput.to_string(),
+                cell.framework.to_owned(),
+                format!("{:.1}", cell.network_mb_per_min),
+                fmt_pct(cell.network_ratio),
+            ]);
+        }
+    }
+    print_table(
+        &format!("Fig. 11 — {name}: trace data storage overhead"),
+        &["req/min", "framework", "storage (MB/min)", "% of raw"],
+        &storage_rows,
+    );
+    print_table(
+        &format!("Fig. 11 — {name}: trace data network bandwidth"),
+        &["req/min", "framework", "network (MB/min)", "% of raw"],
+        &network_rows,
+    );
+}
+
+fn summarize(results: &[(&str, Vec<(u64, Vec<Cell>)>)]) {
+    let mut mint_storage = Vec::new();
+    let mut mint_network = Vec::new();
+    for (_, benchmark) in results {
+        for (_, cells) in benchmark {
+            if let Some(mint) = cells.iter().find(|c| c.framework == "Mint") {
+                mint_storage.push(mint.storage_ratio);
+                mint_network.push(mint.network_ratio);
+            }
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!(
+        "\nMint averages across both benchmarks and all throughputs: storage {} (paper: 2.7%), \
+         network {} (paper: 4.2%)",
+        fmt_pct(mean(&mint_storage)),
+        fmt_pct(mean(&mint_network))
+    );
+}
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    let ob = run_benchmark(online_boutique(), &cfg);
+    print_benchmark("OnlineBoutique", &ob);
+    let tt = run_benchmark(train_ticket(), &cfg);
+    print_benchmark("TrainTicket", &tt);
+    summarize(&[("OnlineBoutique", ob), ("TrainTicket", tt)]);
+}

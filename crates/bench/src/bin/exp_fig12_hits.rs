@@ -1,0 +1,99 @@
+//! Figure 12: number of user queries answered per day over a 14-day window.
+//!
+//! Every framework processes the same traffic under the same 5% retention
+//! budget; the daily query workload then asks each one for specific trace
+//! ids.  `Mint-Exact` counts queries answered with full information,
+//! `Mint-Partial` counts those answered at least approximately — the paper's
+//! claim is that Mint-Partial reaches the total (no misses).
+
+use baselines::QueryOutcome;
+use bench::{all_frameworks, print_table, ExpConfig};
+use workload::{online_boutique, GeneratorConfig, QueryWorkload, QueryWorkloadConfig, TraceGenerator};
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    let days = 14;
+    let traces_per_day = cfg.scaled(400);
+
+    let generator_config = GeneratorConfig::default()
+        .with_seed(cfg.seed)
+        .with_abnormal_rate(0.05);
+    let mut generator = TraceGenerator::new(online_boutique(), generator_config);
+    let traces = generator.generate(traces_per_day * days);
+
+    let mut frameworks = all_frameworks();
+    // OT-Full is the reference for volume, not part of the hit comparison.
+    frameworks.retain(|f| f.name() != "OT-Full");
+    for framework in frameworks.iter_mut() {
+        framework.process(&traces);
+    }
+
+    let queries = QueryWorkload::generate(
+        &traces,
+        &QueryWorkloadConfig {
+            days,
+            queries_per_day: 250,
+            abnormal_bias: 0.4,
+            seed: cfg.seed ^ 0xBEEF,
+        },
+    );
+
+    let mut rows = Vec::new();
+    let mut totals: Vec<u64> = vec![0; frameworks.len() + 2];
+    for (day, ids) in queries.iter() {
+        let mut row = vec![format!("day {:02}", day + 1), ids.len().to_string()];
+        totals[0] += ids.len() as u64;
+        for (fi, framework) in frameworks.iter().enumerate() {
+            let hits = if framework.name() == "Mint" {
+                // Reported as exact / partial, matching the paper's series.
+                let exact = ids.iter().filter(|id| framework.query(**id).is_exact()).count();
+                let partial = ids.iter().filter(|id| framework.query(**id).is_hit()).count();
+                totals[fi + 1] += exact as u64;
+                totals[fi + 2] += partial as u64;
+                format!("{exact} / {partial}")
+            } else {
+                let hits = ids
+                    .iter()
+                    .filter(|id| framework.query(**id) != QueryOutcome::Miss)
+                    .count();
+                totals[fi + 1] += hits as u64;
+                hits.to_string()
+            };
+            row.push(hits);
+        }
+        rows.push(row);
+    }
+
+    let mut headers: Vec<&str> = vec!["day", "total queries"];
+    let names: Vec<String> = frameworks
+        .iter()
+        .map(|f| {
+            if f.name() == "Mint" {
+                "Mint exact / partial".to_owned()
+            } else {
+                f.name().to_owned()
+            }
+        })
+        .collect();
+    headers.extend(names.iter().map(String::as_str));
+    print_table("Fig. 12 — query hits per day (14 days)", &headers, &rows);
+
+    println!("\nTotals: {} queries issued.", totals[0]);
+    for (fi, framework) in frameworks.iter().enumerate() {
+        if framework.name() == "Mint" {
+            println!(
+                "  Mint: {} exact hits, {} partial-or-better hits ({}% of all queries answered)",
+                totals[fi + 1],
+                totals[fi + 2],
+                100 * totals[fi + 2] / totals[0].max(1)
+            );
+        } else {
+            println!(
+                "  {}: {} hits ({}%)",
+                framework.name(),
+                totals[fi + 1],
+                100 * totals[fi + 1] / totals[0].max(1)
+            );
+        }
+    }
+}

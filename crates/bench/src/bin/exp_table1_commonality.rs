@@ -1,0 +1,44 @@
+//! Table 1: occurrence and proportion of commonality among trace and span
+//! pairs in three services.
+//!
+//! The paper reports 34–56% inter-trace and 25–45% inter-span commonality.
+//! Here the three "services" are the two benchmark applications and one
+//! Alibaba-style dataset.
+
+use bench::{print_table, ExpConfig};
+use mint_core::commonality_statistics;
+use workload::{alibaba_dataset, online_boutique, train_ticket, GeneratorConfig, TraceGenerator};
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    let mut rows = Vec::new();
+
+    let services: Vec<(&str, workload::Application)> = vec![
+        ("Service A (OnlineBoutique)", online_boutique()),
+        ("Service B (TrainTicket)", train_ticket()),
+        ("Service C (Alibaba dataset D)", alibaba_dataset("D").unwrap().application()),
+    ];
+
+    for (index, (name, app)) in services.into_iter().enumerate() {
+        let generator_config = GeneratorConfig::default()
+            .with_seed(cfg.seed + index as u64)
+            .with_abnormal_rate(0.02);
+        let mut generator = TraceGenerator::new(app, generator_config);
+        let traces = generator.generate(cfg.scaled(1_500));
+        let stats = commonality_statistics(&traces);
+        rows.push(vec![
+            name.to_owned(),
+            stats.inter_trace_common_pairs.to_string(),
+            format!("{:.2}%", stats.inter_trace_proportion() * 100.0),
+            stats.inter_span_common_pairs.to_string(),
+            format!("{:.2}%", stats.inter_span_proportion() * 100.0),
+        ]);
+    }
+
+    print_table(
+        "Table 1 — commonality among trace/span pairs",
+        &["service", "inter-trace #", "inter-trace %", "inter-span #", "inter-span %"],
+        &rows,
+    );
+    println!("\nPaper ranges: inter-trace 34.44–56.14%, inter-span 25.55–45.34%.");
+}

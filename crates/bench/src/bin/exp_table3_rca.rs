@@ -1,0 +1,125 @@
+//! Table 3: top-1 accuracy of downstream root-cause analysis when fed the
+//! trace data each framework retained under a 5% budget.
+//!
+//! 56 faults (5 types × a set of target services, Table 2) are injected into
+//! OnlineBoutique and TrainTicket.  For every (framework, fault) pair the
+//! framework processes the faulty workload, its retained trace views are
+//! labelled, and each RCA method ranks candidate root causes.  A@1 is the
+//! fraction of faults whose injected service ranks first.
+
+use baselines::{Hindsight, MintFramework, OtHead, OtTail, Sieve, TracingFramework};
+use bench::{print_table, rca_methods, ExpConfig};
+use mint_core::MintConfig;
+use rca::{label_anomalous, RcaCase};
+use std::collections::HashMap;
+use workload::{
+    online_boutique, train_ticket, Application, FaultInjector, FaultType, GeneratorConfig,
+    TraceGenerator,
+};
+
+fn fresh_frameworks() -> Vec<Box<dyn TracingFramework>> {
+    vec![
+        Box::new(OtHead::new(0.05)),
+        Box::new(OtTail::new()),
+        Box::new(Sieve::new(0.05)),
+        Box::new(Hindsight::new()),
+        Box::new(MintFramework::new(MintConfig::default())),
+    ]
+}
+
+/// The services targeted by fault injection in each benchmark (Table 2's "56
+/// faults" are 5 fault types over these targets, split across benchmarks).
+fn targets(app: &Application) -> Vec<String> {
+    let preferred: &[&str] = if app.name() == "online-boutique" {
+        &[
+            "cartservice",
+            "paymentservice",
+            "currencyservice",
+            "shippingservice",
+            "productcatalogservice",
+            "recommendationservice",
+        ]
+    } else {
+        &[
+            "ts-order-service",
+            "ts-travel-service",
+            "ts-basic-service",
+            "ts-seat-service",
+            "ts-inside-payment-service",
+        ]
+    };
+    preferred.iter().map(|s| (*s).to_owned()).collect()
+}
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    let requests_per_case = cfg.scaled(150);
+    let methods = rca_methods();
+
+    // accuracy[(benchmark, method, framework)] = (hits, cases)
+    let mut accuracy: HashMap<(String, String, String), (u32, u32)> = HashMap::new();
+    let mut total_faults = 0;
+
+    for (bench_label, app) in [("OB", online_boutique()), ("TT", train_ticket())] {
+        let targets = targets(&app);
+        for (ti, target) in targets.iter().enumerate() {
+            for (fi, fault) in FaultType::ALL.iter().enumerate() {
+                total_faults += 1;
+                let case_seed = cfg.seed + (ti * 31 + fi * 7) as u64;
+                // Fresh workload per fault case.
+                let generator_config = GeneratorConfig::default()
+                    .with_seed(case_seed)
+                    .with_abnormal_rate(0.0);
+                let mut generator = TraceGenerator::new(app.clone(), generator_config);
+                let mut traces = generator.generate(requests_per_case);
+                let mut injector = FaultInjector::new(case_seed ^ 0xFA01);
+                injector.inject(&mut traces, *fault, target);
+
+                for mut framework in fresh_frameworks() {
+                    framework.process(&traces);
+                    let labelled = label_anomalous(&framework.analysis_views());
+                    for method in &methods {
+                        let case = RcaCase {
+                            ground_truth: target.clone(),
+                            ranking: method.rank(&labelled),
+                        };
+                        let entry = accuracy
+                            .entry((
+                                bench_label.to_owned(),
+                                method.name().to_owned(),
+                                framework.name().to_owned(),
+                            ))
+                            .or_insert((0, 0));
+                        entry.1 += 1;
+                        if case.hit_at(1) {
+                            entry.0 += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let framework_names = ["OT-Head", "OT-Tail", "Sieve", "Hindsight", "Mint"];
+    let mut rows = Vec::new();
+    for bench_label in ["OB", "TT"] {
+        for method in &methods {
+            let mut row = vec![bench_label.to_owned(), method.name().to_owned()];
+            for framework in framework_names {
+                let (hits, cases) = accuracy
+                    .get(&(bench_label.to_owned(), method.name().to_owned(), framework.to_owned()))
+                    .copied()
+                    .unwrap_or((0, 1));
+                row.push(format!("{:.4}", hits as f64 / cases.max(1) as f64));
+            }
+            rows.push(row);
+        }
+    }
+
+    let headers = ["benchmark", "RCA method", "OT-Head", "OT-Tail", "Sieve", "Hindsight", "Mint"];
+    print_table("Table 3 — downstream RCA top-1 accuracy (A@1)", &headers, &rows);
+    println!(
+        "\n{total_faults} faults injected (paper: 56). Paper's shape to check: Mint's column is \
+         the highest for every method, baselines stay below ~0.38 while Mint reaches ~0.5-0.7."
+    );
+}

@@ -1,0 +1,56 @@
+//! Runs every experiment binary in sequence, producing the full set of tables
+//! and figures in one go (used to regenerate EXPERIMENTS.md).
+//!
+//! The binaries are located next to this one in the build directory, so this
+//! must be invoked through `cargo run --bin run-all-experiments`.
+
+use std::process::Command;
+
+const EXPERIMENTS: [&str; 12] = [
+    "exp-fig01-volume",
+    "exp-fig02-overhead",
+    "exp-fig03-missrate",
+    "exp-table1-commonality",
+    "exp-fig11-reduction",
+    "exp-fig12-hits",
+    "exp-table3-rca",
+    "exp-table4-compression",
+    "exp-fig14-loadtests",
+    "exp-fig15-latency",
+    "exp-table5-patterns",
+    "exp-fig16-sensitivity",
+];
+
+fn main() {
+    let current = std::env::current_exe().expect("current executable path");
+    let bin_dir = current.parent().expect("binary directory").to_path_buf();
+
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        let path = bin_dir.join(name);
+        println!("\n######## {name} ########");
+        if !path.exists() {
+            println!("(binary not built: {})", path.display());
+            failures.push(name);
+            continue;
+        }
+        match Command::new(&path).status() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                println!("{name} exited with {status}");
+                failures.push(name);
+            }
+            Err(error) => {
+                println!("failed to launch {name}: {error}");
+                failures.push(name);
+            }
+        }
+    }
+
+    if failures.is_empty() {
+        println!("\nAll {} experiments completed.", EXPERIMENTS.len());
+    } else {
+        println!("\n{} experiments failed: {failures:?}", failures.len());
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,105 @@
+//! Shared infrastructure for the line-oriented compressors.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of compressing a batch of text lines.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CompressionStats {
+    /// Total bytes of the raw input lines (including newlines).
+    pub raw_bytes: u64,
+    /// Bytes of the compressed, still-queryable representation.
+    pub compressed_bytes: u64,
+    /// Number of lines compressed.
+    pub lines: u64,
+    /// Number of distinct templates / schemas discovered.
+    pub templates: u64,
+}
+
+impl CompressionStats {
+    /// Compression ratio (raw / compressed); higher is better.
+    pub fn ratio(&self) -> f64 {
+        if self.compressed_bytes == 0 {
+            0.0
+        } else {
+            self.raw_bytes as f64 / self.compressed_bytes as f64
+        }
+    }
+}
+
+/// A queryable, line-oriented compressor.
+pub trait Compressor {
+    /// The comparator's display name (matching the paper's table headers).
+    fn name(&self) -> &'static str;
+
+    /// Compresses a batch of lines and reports the resulting sizes.
+    fn compress(&self, lines: &[String]) -> CompressionStats;
+}
+
+/// Splits a text line into tokens on whitespace, treating `key=value` pairs
+/// as two tokens (`key=` and `value`) so that values can be dictionarized
+/// independently from their keys.
+pub fn tokenize_line(line: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    for word in line.split_whitespace() {
+        if let Some(eq) = word.find('=') {
+            let (key, value) = word.split_at(eq + 1);
+            tokens.push(key.to_owned());
+            if !value.is_empty() {
+                tokens.push(value.to_owned());
+            }
+        } else {
+            tokens.push(word.to_owned());
+        }
+    }
+    tokens
+}
+
+/// Whether a token looks like a variable (contains a digit) rather than part
+/// of the constant template.
+pub(crate) fn is_variable(token: &str) -> bool {
+    token.chars().any(|c| c.is_ascii_digit())
+}
+
+/// The template signature of a line: variable tokens replaced by `<*>`.
+pub(crate) fn template_of(tokens: &[String]) -> String {
+    tokens
+        .iter()
+        .map(|t| if is_variable(t) { "<*>" } else { t.as_str() })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// The variable tokens of a line, in order.
+pub(crate) fn variables_of(tokens: &[String]) -> Vec<&String> {
+    tokens.iter().filter(|t| is_variable(t)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_splits_key_value_pairs() {
+        let tokens = tokenize_line("svc=frontend op=GET latency=12 ok");
+        assert_eq!(tokens, vec!["svc=", "frontend", "op=", "GET", "latency=", "12", "ok"]);
+    }
+
+    #[test]
+    fn template_masks_variables() {
+        let tokens = tokenize_line("svc=a id=42 msg=hello");
+        assert_eq!(template_of(&tokens), "svc= a id= <*> msg= hello");
+        assert_eq!(variables_of(&tokens), vec!["42"]);
+    }
+
+    #[test]
+    fn ratio_handles_zero() {
+        assert_eq!(CompressionStats::default().ratio(), 0.0);
+        let stats = CompressionStats {
+            raw_bytes: 100,
+            compressed_bytes: 25,
+            lines: 1,
+            templates: 1,
+        };
+        assert_eq!(stats.ratio(), 4.0);
+    }
+}

@@ -1,0 +1,46 @@
+//! Queryable log-style compressors used as comparators in Table 4.
+//!
+//! The paper compares Mint against log-specific compressors (LogZip,
+//! LogReducer, CLP) rather than general-purpose byte compressors, because the
+//! compressed form must remain directly queryable.  This crate reimplements
+//! the essential mechanism of each comparator over the *textual rendering* of
+//! trace data (one line per span, see [`trace_model::render_span_text`]):
+//!
+//! * [`LogZip`] — iterative template extraction; lines are stored as a
+//!   template reference plus their raw parameter list.
+//! * [`LogReducer`] — parser-based separation of templates and parameters
+//!   with delta/fixed-width encoding of numeric parameters and a dictionary
+//!   for repeated string parameters.
+//! * [`Clp`] — schema dictionary plus separate dictionary/non-dictionary
+//!   variable storage.
+//!
+//! All three are *line-oriented*: they exploit redundancy within and across
+//! individual lines but are blind to the topological structure linking the
+//! spans of one trace — which is precisely the advantage Mint's inter-trace
+//! level parsing adds.
+//!
+//! # Example
+//!
+//! ```
+//! use compressors::{Clp, Compressor};
+//!
+//! let lines: Vec<String> = (0..100)
+//!     .map(|i| format!("svc=a op=get id={i} duration={}", 10 + i % 7))
+//!     .collect();
+//! let stats = Clp::new().compress(&lines);
+//! assert!(stats.compressed_bytes > 0);
+//! assert!(stats.ratio() >= 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clp;
+mod common;
+mod logreducer;
+mod logzip;
+
+pub use clp::Clp;
+pub use common::{tokenize_line, CompressionStats, Compressor};
+pub use logreducer::LogReducer;
+pub use logzip::LogZip;

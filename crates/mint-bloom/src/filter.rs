@@ -1,0 +1,336 @@
+//! The Bloom filter implementation.
+
+use crate::hash::{base_hashes, nth_hash, BloomHashable};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned when constructing a Bloom filter from explicit parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BloomBuildError {
+    /// The requested capacity was zero.
+    ZeroCapacity,
+    /// The false-positive probability was outside `(0, 1)`.
+    InvalidProbability(u64),
+}
+
+impl fmt::Display for BloomBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BloomBuildError::ZeroCapacity => write!(f, "bloom filter capacity must be non-zero"),
+            BloomBuildError::InvalidProbability(bits) => write!(
+                f,
+                "false positive probability must be in (0, 1), got bit pattern {bits:#x}"
+            ),
+        }
+    }
+}
+
+impl Error for BloomBuildError {}
+
+/// A fixed-size Bloom filter with no false negatives.
+///
+/// The filter is sized from an expected insertion count `n` and a target
+/// false-positive probability `p` using the textbook formulas
+/// `m = -n ln p / (ln 2)^2` bits and `k = (m/n) ln 2` hash functions.
+///
+/// Mint's agent treats filters as flushable buffers: [`BloomFilter::is_full`]
+/// reports when the expected capacity has been reached, at which point the
+/// collector serializes the filter ([`BloomFilter::serialized_size`] bytes),
+/// ships it to the backend and calls [`BloomFilter::reset`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    bit_count: usize,
+    hash_count: u32,
+    capacity: usize,
+    inserted: usize,
+    target_fpp: f64,
+}
+
+impl BloomFilter {
+    /// Creates a filter sized for `capacity` insertions at false-positive
+    /// probability `fpp`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or `fpp` is not in `(0, 1)`.  Use
+    /// [`BloomFilter::try_with_capacity_and_fpp`] for a fallible variant.
+    pub fn with_capacity_and_fpp(capacity: usize, fpp: f64) -> Self {
+        Self::try_with_capacity_and_fpp(capacity, fpp).expect("invalid bloom filter parameters")
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BloomBuildError::ZeroCapacity`] when `capacity == 0` and
+    /// [`BloomBuildError::InvalidProbability`] when `fpp` is not in `(0, 1)`.
+    pub fn try_with_capacity_and_fpp(capacity: usize, fpp: f64) -> Result<Self, BloomBuildError> {
+        if capacity == 0 {
+            return Err(BloomBuildError::ZeroCapacity);
+        }
+        if !(fpp > 0.0 && fpp < 1.0) {
+            return Err(BloomBuildError::InvalidProbability(fpp.to_bits()));
+        }
+        let ln2 = std::f64::consts::LN_2;
+        let bit_count = ((-(capacity as f64) * fpp.ln()) / (ln2 * ln2)).ceil() as usize;
+        let bit_count = bit_count.max(64);
+        let hash_count = (((bit_count as f64 / capacity as f64) * ln2).round() as u32).max(1);
+        Ok(BloomFilter {
+            bits: vec![0u64; bit_count.div_ceil(64)],
+            bit_count,
+            hash_count,
+            capacity,
+            inserted: 0,
+            target_fpp: fpp,
+        })
+    }
+
+    /// Creates a filter constrained to roughly `buffer_bytes` of bit storage,
+    /// the way the Mint agent pre-allocates a 4 KiB buffer per topology
+    /// pattern.  The capacity is derived from the buffer size and `fpp`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buffer_bytes` is zero or `fpp` is not in `(0, 1)`.
+    pub fn with_byte_budget(buffer_bytes: usize, fpp: f64) -> Self {
+        assert!(buffer_bytes > 0, "buffer must be non-zero");
+        assert!(fpp > 0.0 && fpp < 1.0, "fpp must be in (0,1)");
+        let bit_count = buffer_bytes * 8;
+        let ln2 = std::f64::consts::LN_2;
+        // Invert m = -n ln p / (ln 2)^2  =>  n = -m (ln 2)^2 / ln p.
+        let capacity = ((-(bit_count as f64) * ln2 * ln2) / fpp.ln()).floor() as usize;
+        let capacity = capacity.max(1);
+        let hash_count = (((bit_count as f64 / capacity as f64) * ln2).round() as u32).max(1);
+        BloomFilter {
+            bits: vec![0u64; bit_count.div_ceil(64)],
+            bit_count,
+            hash_count,
+            capacity,
+            inserted: 0,
+            target_fpp: fpp,
+        }
+    }
+
+    /// Number of bits in the filter.
+    pub fn bit_count(&self) -> usize {
+        self.bit_count
+    }
+
+    /// Number of hash functions applied per element.
+    pub fn hash_count(&self) -> u32 {
+        self.hash_count
+    }
+
+    /// The insertion capacity the filter was sized for.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of elements inserted since the last reset.
+    pub fn inserted(&self) -> usize {
+        self.inserted
+    }
+
+    /// The false-positive probability the filter was configured with.
+    pub fn target_fpp(&self) -> f64 {
+        self.target_fpp
+    }
+
+    /// Whether the filter has reached its configured capacity and should be
+    /// flushed to the backend and reset.
+    pub fn is_full(&self) -> bool {
+        self.inserted >= self.capacity
+    }
+
+    /// Whether no elements have been inserted since construction/reset.
+    pub fn is_empty(&self) -> bool {
+        self.inserted == 0
+    }
+
+    /// Inserts an element.  Returns `true` if at least one bit changed
+    /// (i.e. the element was definitely not present before).
+    pub fn insert<T: BloomHashable + ?Sized>(&mut self, element: &T) -> bool {
+        let bytes = element.bloom_bytes();
+        let (h1, h2) = base_hashes(&bytes);
+        let mut changed = false;
+        for i in 0..u64::from(self.hash_count) {
+            let bit = (nth_hash(h1, h2, i) % self.bit_count as u64) as usize;
+            let word = bit / 64;
+            let mask = 1u64 << (bit % 64);
+            if self.bits[word] & mask == 0 {
+                self.bits[word] |= mask;
+                changed = true;
+            }
+        }
+        self.inserted += 1;
+        changed
+    }
+
+    /// Tests membership.  May return a false positive but never a false
+    /// negative.
+    pub fn contains<T: BloomHashable + ?Sized>(&self, element: &T) -> bool {
+        let bytes = element.bloom_bytes();
+        let (h1, h2) = base_hashes(&bytes);
+        (0..u64::from(self.hash_count)).all(|i| {
+            let bit = (nth_hash(h1, h2, i) % self.bit_count as u64) as usize;
+            self.bits[bit / 64] & (1u64 << (bit % 64)) != 0
+        })
+    }
+
+    /// Clears all bits and the insertion counter, keeping the configuration.
+    pub fn reset(&mut self) {
+        self.bits.iter_mut().for_each(|w| *w = 0);
+        self.inserted = 0;
+    }
+
+    /// Merges another filter with identical parameters into this one
+    /// (bitwise OR).  Returns `false` (and leaves `self` unchanged) if the
+    /// parameters differ.
+    pub fn merge(&mut self, other: &BloomFilter) -> bool {
+        if self.bit_count != other.bit_count || self.hash_count != other.hash_count {
+            return false;
+        }
+        for (a, b) in self.bits.iter_mut().zip(other.bits.iter()) {
+            *a |= *b;
+        }
+        self.inserted += other.inserted;
+        true
+    }
+
+    /// Fraction of bits currently set.
+    pub fn fill_ratio(&self) -> f64 {
+        let set: u32 = self.bits.iter().map(|w| w.count_ones()).sum();
+        f64::from(set) / self.bit_count as f64
+    }
+
+    /// The false-positive probability implied by the current fill ratio,
+    /// `fill_ratio ^ k`.
+    pub fn estimated_fpp(&self) -> f64 {
+        self.fill_ratio().powi(self.hash_count as i32)
+    }
+
+    /// Number of bytes the filter occupies when serialized and shipped to the
+    /// backend (bit array plus a small header).
+    pub fn serialized_size(&self) -> usize {
+        self.bits.len() * 8 + 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sized_from_capacity_and_fpp() {
+        let filter = BloomFilter::with_capacity_and_fpp(1000, 0.01);
+        // Textbook: ~9.59 bits per element, k ~ 7.
+        assert!(filter.bit_count() >= 9 * 1000);
+        assert!(filter.bit_count() <= 11 * 1000);
+        assert!((6..=8).contains(&filter.hash_count()));
+        assert_eq!(filter.capacity(), 1000);
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let mut filter = BloomFilter::with_capacity_and_fpp(500, 0.01);
+        for i in 0..500u128 {
+            filter.insert(&i);
+        }
+        for i in 0..500u128 {
+            assert!(filter.contains(&i), "false negative for {i}");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_close_to_target() {
+        let mut filter = BloomFilter::with_capacity_and_fpp(2000, 0.01);
+        for i in 0..2000u128 {
+            filter.insert(&i);
+        }
+        let false_positives = (10_000u128..20_000)
+            .filter(|i| filter.contains(i))
+            .count();
+        let rate = false_positives as f64 / 10_000.0;
+        assert!(rate < 0.03, "observed fp rate {rate} too high");
+    }
+
+    #[test]
+    fn is_full_after_capacity_insertions() {
+        let mut filter = BloomFilter::with_capacity_and_fpp(10, 0.01);
+        assert!(filter.is_empty());
+        for i in 0..10u64 {
+            filter.insert(&i);
+        }
+        assert!(filter.is_full());
+        filter.reset();
+        assert!(filter.is_empty());
+        assert!(!filter.contains(&3u64));
+    }
+
+    #[test]
+    fn byte_budget_constructor_respects_buffer() {
+        let filter = BloomFilter::with_byte_budget(4096, 0.01);
+        assert_eq!(filter.bit_count(), 4096 * 8);
+        // ~9.59 bits/element => roughly 3400 elements fit in 4 KiB.
+        assert!(filter.capacity() > 3000 && filter.capacity() < 3600,
+            "capacity {}", filter.capacity());
+        assert!(filter.serialized_size() >= 4096);
+    }
+
+    #[test]
+    fn merge_requires_identical_parameters() {
+        let mut a = BloomFilter::with_capacity_and_fpp(100, 0.01);
+        let mut b = BloomFilter::with_capacity_and_fpp(100, 0.01);
+        let c = BloomFilter::with_capacity_and_fpp(200, 0.01);
+        a.insert(&1u64);
+        b.insert(&2u64);
+        assert!(a.merge(&b));
+        assert!(a.contains(&1u64));
+        assert!(a.contains(&2u64));
+        assert!(!a.merge(&c));
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert_eq!(
+            BloomFilter::try_with_capacity_and_fpp(0, 0.01).unwrap_err(),
+            BloomBuildError::ZeroCapacity
+        );
+        assert!(matches!(
+            BloomFilter::try_with_capacity_and_fpp(10, 1.5).unwrap_err(),
+            BloomBuildError::InvalidProbability(_)
+        ));
+        assert!(matches!(
+            BloomFilter::try_with_capacity_and_fpp(10, 0.0).unwrap_err(),
+            BloomBuildError::InvalidProbability(_)
+        ));
+    }
+
+    #[test]
+    fn insert_reports_novelty() {
+        let mut filter = BloomFilter::with_capacity_and_fpp(100, 0.01);
+        assert!(filter.insert(&7u64));
+        assert!(!filter.insert(&7u64));
+    }
+
+    #[test]
+    fn fill_ratio_and_estimated_fpp_increase_with_insertions() {
+        let mut filter = BloomFilter::with_capacity_and_fpp(100, 0.01);
+        let before = filter.estimated_fpp();
+        for i in 0..100u64 {
+            filter.insert(&i);
+        }
+        assert!(filter.fill_ratio() > 0.0);
+        assert!(filter.estimated_fpp() > before);
+    }
+
+    #[test]
+    fn string_membership() {
+        let mut filter = BloomFilter::with_capacity_and_fpp(100, 0.01);
+        filter.insert("trace_ae61");
+        assert!(filter.contains("trace_ae61"));
+    }
+}

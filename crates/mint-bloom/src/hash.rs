@@ -1,0 +1,126 @@
+//! Hashing for Bloom filter membership.
+//!
+//! Uses two independent 64-bit FNV-1a style hashes combined with the
+//! Kirsch–Mitzenmacher double-hashing scheme (`h_i = h1 + i * h2`), which is
+//! the standard way to derive `k` hash functions from two without measurable
+//! loss of false-positive accuracy.
+
+/// Types that can be hashed into a Bloom filter.
+///
+/// Implemented for the identifier and byte types that Mint mounts onto
+/// patterns (trace ids, span ids, strings).
+pub trait BloomHashable {
+    /// Returns the bytes fed to the filter's hash functions.
+    fn bloom_bytes(&self) -> Vec<u8>;
+}
+
+impl BloomHashable for u128 {
+    fn bloom_bytes(&self) -> Vec<u8> {
+        self.to_be_bytes().to_vec()
+    }
+}
+
+impl BloomHashable for u64 {
+    fn bloom_bytes(&self) -> Vec<u8> {
+        self.to_be_bytes().to_vec()
+    }
+}
+
+impl BloomHashable for str {
+    fn bloom_bytes(&self) -> Vec<u8> {
+        self.as_bytes().to_vec()
+    }
+}
+
+impl BloomHashable for String {
+    fn bloom_bytes(&self) -> Vec<u8> {
+        self.as_bytes().to_vec()
+    }
+}
+
+impl BloomHashable for Vec<u8> {
+    fn bloom_bytes(&self) -> Vec<u8> {
+        self.clone()
+    }
+}
+
+impl BloomHashable for [u8; 16] {
+    fn bloom_bytes(&self) -> Vec<u8> {
+        self.to_vec()
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x1000_0000_01b3;
+
+/// 64-bit FNV-1a with a seed mixed into the offset basis.
+pub(crate) fn fnv1a_seeded(bytes: &[u8], seed: u64) -> u64 {
+    let mut hash = FNV_OFFSET ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    // Final avalanche (splitmix64 finalizer) to break up FNV's weak low bits.
+    hash ^= hash >> 30;
+    hash = hash.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    hash ^= hash >> 27;
+    hash = hash.wrapping_mul(0x94d0_49bb_1331_11eb);
+    hash ^ (hash >> 31)
+}
+
+/// Produces the two base hashes used by double hashing.
+pub(crate) fn base_hashes(bytes: &[u8]) -> (u64, u64) {
+    (fnv1a_seeded(bytes, 0x51_7c), fnv1a_seeded(bytes, 0xa5_a5_a5))
+}
+
+/// The i-th derived hash.
+pub(crate) fn nth_hash(h1: u64, h2: u64, i: u64) -> u64 {
+    // Ensure h2 is odd so successive probes do not collapse onto a short
+    // cycle when the bit count is a power of two.
+    h1.wrapping_add(i.wrapping_mul(h2 | 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn different_seeds_give_different_hashes() {
+        let bytes = b"hello world";
+        assert_ne!(fnv1a_seeded(bytes, 1), fnv1a_seeded(bytes, 2));
+    }
+
+    #[test]
+    fn hashes_are_deterministic() {
+        let bytes = 12345u128.bloom_bytes();
+        assert_eq!(base_hashes(&bytes), base_hashes(&bytes));
+    }
+
+    #[test]
+    fn nth_hashes_are_spread() {
+        let (h1, h2) = base_hashes(b"trace-id");
+        let probes: HashSet<u64> = (0..16).map(|i| nth_hash(h1, h2, i) % 4096).collect();
+        // With a 4096-bit table, 16 probes should almost surely be distinct.
+        assert!(probes.len() >= 14);
+    }
+
+    #[test]
+    fn hashable_impls_produce_bytes() {
+        assert_eq!(42u64.bloom_bytes().len(), 8);
+        assert_eq!(42u128.bloom_bytes().len(), 16);
+        assert_eq!(BloomHashable::bloom_bytes("abc"), b"abc".to_vec());
+        assert_eq!(String::from("abc").bloom_bytes(), b"abc".to_vec());
+        assert_eq!(vec![1u8, 2, 3].bloom_bytes(), vec![1, 2, 3]);
+        assert_eq!([0u8; 16].bloom_bytes().len(), 16);
+    }
+
+    #[test]
+    fn similar_inputs_hash_differently() {
+        let a = fnv1a_seeded(b"trace-0000001", 0);
+        let b = fnv1a_seeded(b"trace-0000002", 0);
+        assert_ne!(a, b);
+        // Hamming distance should be substantial thanks to the finalizer.
+        assert!((a ^ b).count_ones() > 10);
+    }
+}

@@ -1,0 +1,34 @@
+//! A Bloom filter tailored to Mint's metadata-mounting use case.
+//!
+//! Mint attaches one Bloom filter to every topology pattern and inserts the
+//! trace ids of all traces that matched the pattern (§3.3 of the paper).
+//! Queries later probe every filter to find which patterns a trace id belongs
+//! to.  The properties that matter:
+//!
+//! * **no false negatives** — a trace that matched a pattern must always be
+//!   found, otherwise trace coherence is broken;
+//! * **bounded size** — the agent pre-allocates a fixed-size buffer
+//!   (4 KiB by default) per filter and flushes/resets it when the configured
+//!   capacity is reached;
+//! * **tunable false-positive probability** — default 0.01, like the Guava
+//!   configuration used by the paper's implementation.
+//!
+//! # Example
+//!
+//! ```
+//! use mint_bloom::BloomFilter;
+//!
+//! let mut filter = BloomFilter::with_capacity_and_fpp(1000, 0.01);
+//! filter.insert(&42u128);
+//! assert!(filter.contains(&42u128));
+//! assert!(!filter.contains(&43u128) || filter.estimated_fpp() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod filter;
+mod hash;
+
+pub use filter::{BloomBuildError, BloomFilter};
+pub use hash::BloomHashable;

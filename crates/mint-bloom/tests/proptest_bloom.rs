@@ -1,0 +1,52 @@
+//! Property-based tests for the Bloom filter: no false negatives, merge
+//! preserves membership, reset clears everything.
+
+use mint_bloom::BloomFilter;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn never_a_false_negative(elements in proptest::collection::hash_set(any::<u128>(), 1..300)) {
+        let mut filter = BloomFilter::with_capacity_and_fpp(elements.len().max(1), 0.01);
+        for e in &elements {
+            filter.insert(e);
+        }
+        for e in &elements {
+            prop_assert!(filter.contains(e));
+        }
+    }
+
+    #[test]
+    fn merge_is_union(
+        left in proptest::collection::hash_set(any::<u64>(), 0..100),
+        right in proptest::collection::hash_set(any::<u64>(), 0..100),
+    ) {
+        let mut a = BloomFilter::with_capacity_and_fpp(256, 0.01);
+        let mut b = BloomFilter::with_capacity_and_fpp(256, 0.01);
+        for e in &left { a.insert(e); }
+        for e in &right { b.insert(e); }
+        prop_assert!(a.merge(&b));
+        for e in left.iter().chain(right.iter()) {
+            prop_assert!(a.contains(e));
+        }
+        prop_assert_eq!(a.inserted(), left.len() + right.len());
+    }
+
+    #[test]
+    fn reset_clears_membership(elements in proptest::collection::vec(any::<u64>(), 1..100)) {
+        let mut filter = BloomFilter::with_capacity_and_fpp(128, 0.01);
+        for e in &elements {
+            filter.insert(e);
+        }
+        filter.reset();
+        prop_assert!(filter.is_empty());
+        prop_assert_eq!(filter.fill_ratio(), 0.0);
+    }
+
+    #[test]
+    fn byte_budget_filters_have_requested_size(kb in 1usize..16) {
+        let filter = BloomFilter::with_byte_budget(kb * 1024, 0.01);
+        prop_assert_eq!(filter.bit_count(), kb * 1024 * 8);
+        prop_assert!(filter.capacity() > 0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Network and storage cost accounting.
+//!
+//! Every experiment in the paper reports tracing overhead as bytes moved over
+//! the network (agent → backend) and bytes persisted in storage.  These
+//! structures accumulate those numbers with a per-category breakdown so the
+//! harness can also explain *where* the bytes go.
+
+use serde::{Deserialize, Serialize};
+
+/// Bytes sent from agents to the tracing backend, by category.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct NetworkCost {
+    /// Periodic pattern-library uploads.
+    pub pattern_bytes: u64,
+    /// Flushed Bloom filters carrying trace metadata.
+    pub bloom_bytes: u64,
+    /// Variable parameters of sampled traces.
+    pub params_bytes: u64,
+    /// Anything else (breadcrumbs, control messages).
+    pub other_bytes: u64,
+}
+
+impl NetworkCost {
+    /// Total bytes across all categories.
+    pub fn total_bytes(&self) -> u64 {
+        self.pattern_bytes + self.bloom_bytes + self.params_bytes + self.other_bytes
+    }
+
+    /// Adds another cost to this one.
+    pub fn add(&mut self, other: &NetworkCost) {
+        self.pattern_bytes += other.pattern_bytes;
+        self.bloom_bytes += other.bloom_bytes;
+        self.params_bytes += other.params_bytes;
+        self.other_bytes += other.other_bytes;
+    }
+}
+
+/// Bytes persisted by the tracing backend, by category.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StorageCost {
+    /// Pattern libraries (span patterns, templates, topology patterns).
+    pub pattern_bytes: u64,
+    /// Bloom filters holding trace metadata.
+    pub bloom_bytes: u64,
+    /// Variable parameters of sampled traces.
+    pub params_bytes: u64,
+    /// Raw trace data stored verbatim (used by baseline frameworks).
+    pub raw_bytes: u64,
+}
+
+impl StorageCost {
+    /// Total bytes across all categories.
+    pub fn total_bytes(&self) -> u64 {
+        self.pattern_bytes + self.bloom_bytes + self.params_bytes + self.raw_bytes
+    }
+
+    /// Adds another cost to this one.
+    pub fn add(&mut self, other: &StorageCost) {
+        self.pattern_bytes += other.pattern_bytes;
+        self.bloom_bytes += other.bloom_bytes;
+        self.params_bytes += other.params_bytes;
+        self.raw_bytes += other.raw_bytes;
+    }
+}
+
+/// A combined cost report with workload counters, produced by a deployment
+/// after processing a trace set.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CostReport {
+    /// Network bytes by category.
+    pub network: NetworkCost,
+    /// Storage bytes by category.
+    pub storage: StorageCost,
+    /// Number of traces processed.
+    pub traces: u64,
+    /// Number of spans processed.
+    pub spans: u64,
+    /// Number of traces whose parameters were fully retained.
+    pub sampled_traces: u64,
+    /// Raw (uncompressed, unsampled) size of the processed trace data.
+    pub raw_trace_bytes: u64,
+}
+
+impl CostReport {
+    /// Network overhead as a fraction of the raw trace volume.
+    pub fn network_ratio(&self) -> f64 {
+        if self.raw_trace_bytes == 0 {
+            0.0
+        } else {
+            self.network.total_bytes() as f64 / self.raw_trace_bytes as f64
+        }
+    }
+
+    /// Storage overhead as a fraction of the raw trace volume.
+    pub fn storage_ratio(&self) -> f64 {
+        if self.raw_trace_bytes == 0 {
+            0.0
+        } else {
+            self.storage.total_bytes() as f64 / self.raw_trace_bytes as f64
+        }
+    }
+
+    /// Fraction of traces that were fully retained.
+    pub fn sampling_rate(&self) -> f64 {
+        if self.traces == 0 {
+            0.0
+        } else {
+            self.sampled_traces as f64 / self.traces as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_categories() {
+        let network = NetworkCost {
+            pattern_bytes: 1,
+            bloom_bytes: 2,
+            params_bytes: 3,
+            other_bytes: 4,
+        };
+        assert_eq!(network.total_bytes(), 10);
+        let storage = StorageCost {
+            pattern_bytes: 5,
+            bloom_bytes: 6,
+            params_bytes: 7,
+            raw_bytes: 8,
+        };
+        assert_eq!(storage.total_bytes(), 26);
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let mut a = NetworkCost::default();
+        a.add(&NetworkCost { pattern_bytes: 1, bloom_bytes: 1, params_bytes: 1, other_bytes: 1 });
+        a.add(&NetworkCost { pattern_bytes: 2, bloom_bytes: 0, params_bytes: 0, other_bytes: 0 });
+        assert_eq!(a.total_bytes(), 6);
+        let mut s = StorageCost::default();
+        s.add(&StorageCost { pattern_bytes: 3, bloom_bytes: 0, params_bytes: 0, raw_bytes: 1 });
+        assert_eq!(s.total_bytes(), 4);
+    }
+
+    #[test]
+    fn ratios_are_relative_to_raw_volume() {
+        let report = CostReport {
+            network: NetworkCost { pattern_bytes: 10, ..Default::default() },
+            storage: StorageCost { params_bytes: 25, ..Default::default() },
+            traces: 100,
+            spans: 500,
+            sampled_traces: 5,
+            raw_trace_bytes: 1_000,
+        };
+        assert!((report.network_ratio() - 0.01).abs() < 1e-12);
+        assert!((report.storage_ratio() - 0.025).abs() < 1e-12);
+        assert!((report.sampling_rate() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_has_zero_ratios() {
+        let report = CostReport::default();
+        assert_eq!(report.network_ratio(), 0.0);
+        assert_eq!(report.storage_ratio(), 0.0);
+        assert_eq!(report.sampling_rate(), 0.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Tokenization and longest-common-subsequence similarity.
+//!
+//! The span parser clusters string attribute values by the similarity
+//! `δ(s1, s2) = |LCS(s1, s2)| / max(|s1|, |s2|)` computed over *word* tokens
+//! (Equation 1 of the paper).
+
+/// Splits a string attribute value into word tokens.
+///
+/// Tokens are maximal runs of characters separated by whitespace.  Separator
+/// punctuation commonly found in SQL, URLs and dotted identifiers
+/// (`,`, `(`, `)`, `=`, `/`, `?`, `&`, `:`, `.`, `-`, `_`) is split off into
+/// its own tokens so that templates align on structure rather than on
+/// glued-together words, and so that the variable fragment of identifiers
+/// like `worker-pool-17` or `host-42.prod.internal` is isolated from their
+/// constant skeleton.
+///
+/// ```
+/// let tokens = mint_core::tokenize("SELECT * FROM orders WHERE id = 42");
+/// assert_eq!(tokens, vec!["SELECT", "*", "FROM", "orders", "WHERE", "id", "=", "42"]);
+/// ```
+pub fn tokenize(value: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for ch in value.chars() {
+        if ch.is_whitespace() {
+            if !current.is_empty() {
+                tokens.push(std::mem::take(&mut current));
+            }
+        } else if matches!(
+            ch,
+            ',' | '(' | ')' | '=' | '/' | '?' | '&' | ':' | '.' | '-' | '_'
+        ) {
+            if !current.is_empty() {
+                tokens.push(std::mem::take(&mut current));
+            }
+            tokens.push(ch.to_string());
+        } else {
+            current.push(ch);
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+/// Length of the longest common subsequence of two token slices.
+///
+/// Uses the standard two-row dynamic program: `O(|a|·|b|)` time,
+/// `O(min(|a|,|b|))` space.
+pub fn lcs_length<T: PartialEq>(a: &[T], b: &[T]) -> usize {
+    if a.is_empty() || b.is_empty() {
+        return 0;
+    }
+    // Keep the inner loop over the shorter slice to minimize memory.
+    let (outer, inner) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut prev = vec![0usize; inner.len() + 1];
+    let mut curr = vec![0usize; inner.len() + 1];
+    for item_o in outer {
+        for (j, item_i) in inner.iter().enumerate() {
+            curr[j + 1] = if item_o == item_i {
+                prev[j] + 1
+            } else {
+                prev[j + 1].max(curr[j])
+            };
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[inner.len()]
+}
+
+/// The paper's similarity measure over already-tokenized strings:
+/// `|LCS| / max(len_a, len_b)`.  Two empty sequences are fully similar.
+pub fn similarity(a: &[String], b: &[String]) -> f64 {
+    let denom = a.len().max(b.len());
+    if denom == 0 {
+        return 1.0;
+    }
+    lcs_length(a, b) as f64 / denom as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        tokenize(s)
+    }
+
+    #[test]
+    fn tokenize_splits_on_whitespace_and_punctuation() {
+        assert_eq!(
+            toks("INSERT INTO inventory (city, rb)"),
+            vec!["INSERT", "INTO", "inventory", "(", "city", ",", "rb", ")"]
+        );
+        assert_eq!(toks("/v1/campus/user=abc"), vec!["/", "v1", "/", "campus", "/", "user", "=", "abc"]);
+        assert_eq!(
+            toks("worker-pool-17"),
+            vec!["worker", "-", "pool", "-", "17"]
+        );
+        assert_eq!(toks("a_b.c"), vec!["a", "_", "b", ".", "c"]);
+        assert!(toks("").is_empty());
+        assert_eq!(toks("   spaced   out "), vec!["spaced", "out"]);
+    }
+
+    #[test]
+    fn lcs_of_identical_sequences_is_length() {
+        let a = toks("select * from orders");
+        assert_eq!(lcs_length(&a, &a), a.len());
+    }
+
+    #[test]
+    fn lcs_of_disjoint_sequences_is_zero() {
+        assert_eq!(lcs_length(&toks("alpha beta"), &toks("gamma delta")), 0);
+        assert_eq!(lcs_length::<String>(&[], &toks("x")), 0);
+    }
+
+    #[test]
+    fn lcs_handles_partial_overlap() {
+        let a = toks("select * from orders where id = 1");
+        let b = toks("select * from users where id = 2");
+        // Common: select * from where id =  (6 tokens)
+        assert_eq!(lcs_length(&a, &b), 6);
+    }
+
+    #[test]
+    fn similarity_matches_paper_formula() {
+        let a = toks("select * from A");
+        let b = toks("select * from B");
+        let expected = 3.0 / 4.0;
+        assert!((similarity(&a, &b) - expected).abs() < 1e-9);
+        assert_eq!(similarity(&a, &a), 1.0);
+        assert_eq!(similarity(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn similarity_is_symmetric() {
+        let a = toks("java-heartbeat thread pool 1");
+        let b = toks("java-heartbeat thread pool 2 extra");
+        assert_eq!(similarity(&a, &b), similarity(&b, &a));
+    }
+
+    #[test]
+    fn similar_sql_statements_cross_default_threshold() {
+        let a = toks("SELECT * FROM orders WHERE tenant = 17 AND id = 4211");
+        let b = toks("SELECT * FROM orders WHERE tenant = 99 AND id = 12");
+        assert!(similarity(&a, &b) >= 0.8);
+        let c = toks("HGETALL cart:user-1234");
+        assert!(similarity(&a, &c) < 0.3);
+    }
+}

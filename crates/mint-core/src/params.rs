@@ -1,0 +1,339 @@
+//! Variable parameters extracted from spans and the agent-side Params Buffer.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use trace_model::{AttrValue, PatternId, SpanId, TraceId, WireSize};
+
+/// The variable part of one attribute after parsing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ParamValue {
+    /// Per-slot contents of a string template's variable slots.
+    StrVars(Vec<String>),
+    /// A numeric value as its exponential bucket plus the offset from the
+    /// bucket's lower bound (`value = lower_bound(bucket) + offset`).
+    Num {
+        /// The exponential bucket index.
+        bucket: i64,
+        /// Offset from the bucket's lower bound.
+        offset: f64,
+    },
+    /// A boolean value.
+    Bool(bool),
+    /// Fallback: the raw value (used on type drift).
+    Raw(AttrValue),
+}
+
+/// Encoded size of one extracted string variable.  Purely numeric fragments
+/// (counters, ids, offsets) are stored as varints rather than ASCII digits;
+/// everything else is length-prefixed text.
+fn str_var_size(var: &str) -> usize {
+    if !var.is_empty() && var.bytes().all(|b| b.is_ascii_digit()) {
+        // Tag byte plus one byte per two decimal digits (varint-style).
+        1 + var.len().div_ceil(2)
+    } else {
+        2 + var.len()
+    }
+}
+
+/// Encoded size of a numeric parameter: a varint bucket index plus the
+/// offset, which is itself a varint when it is a small integral value (the
+/// common case for counters, sizes and millisecond latencies) and a full
+/// 8-byte float otherwise.
+fn num_param_size(bucket: i64, offset: f64) -> usize {
+    let bucket_bytes = if (-63..=63).contains(&bucket) { 1 } else { 2 };
+    let offset_bytes = if offset.fract() == 0.0 && offset.abs() < 1e15 {
+        let magnitude = offset.abs() as u64;
+        ((64 - magnitude.leading_zeros() as usize) / 7 + 1).max(1)
+    } else {
+        8
+    };
+    bucket_bytes + offset_bytes
+}
+
+impl WireSize for ParamValue {
+    fn wire_size(&self) -> usize {
+        1 + match self {
+            ParamValue::StrVars(vars) => vars.iter().map(|v| str_var_size(v)).sum(),
+            ParamValue::Num { bucket, offset } => num_param_size(*bucket, *offset),
+            ParamValue::Bool(_) => 1,
+            ParamValue::Raw(value) => value.wire_size(),
+        }
+    }
+}
+
+/// The variable parameters of one span: everything needed, together with the
+/// span's pattern, to reconstruct the exact span.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanParams {
+    /// The span's id.
+    pub span_id: SpanId,
+    /// The parent span id.
+    pub parent_id: SpanId,
+    /// The span pattern these parameters belong to.
+    pub pattern: PatternId,
+    /// Start timestamp (microseconds since the epoch).
+    pub start_time_us: u64,
+    /// Exponential bucket of the span duration.
+    pub duration_bucket: i64,
+    /// Offset of the duration from its bucket's lower bound.
+    pub duration_offset: f64,
+    /// Whether the span recorded an error status.
+    pub status_error: bool,
+    /// Per-attribute variable parameters, in pattern order.
+    pub attr_params: Vec<(String, ParamValue)>,
+}
+
+impl WireSize for SpanParams {
+    fn wire_size(&self) -> usize {
+        // Attribute keys are *not* charged: they are part of the span
+        // pattern and the parameters are stored positionally.  The pattern
+        // reference is a small library-local index, not a full 128-bit id,
+        // and the start timestamp is stored as a delta against the parameter
+        // block's base timestamp.
+        8  // span id
+            + 8 // parent id
+            + 2 // pattern reference
+            + 4 // start-time delta
+            + 2 // duration bucket
+            + 8 // duration offset
+            + 1 // status
+            + self
+                .attr_params
+                .iter()
+                .map(|(_, v)| v.wire_size())
+                .sum::<usize>()
+    }
+}
+
+/// The parameter block of one trace on one agent: all span parameters the
+/// local node observed for that trace.  Blocks are the unit the Params Buffer
+/// stores and evicts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceParams {
+    /// The trace these parameters belong to.
+    pub trace_id: TraceId,
+    /// Parameters of every locally observed span.
+    pub spans: Vec<SpanParams>,
+}
+
+impl TraceParams {
+    /// Creates an empty block for `trace_id`.
+    pub fn new(trace_id: TraceId) -> Self {
+        TraceParams {
+            trace_id,
+            spans: Vec::new(),
+        }
+    }
+
+    /// Number of spans in the block.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether the block has no spans.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+}
+
+impl WireSize for TraceParams {
+    fn wire_size(&self) -> usize {
+        16 + self.spans.wire_size()
+    }
+}
+
+/// The agent-side Params Buffer (§4.1): a FIFO queue of per-trace parameter
+/// blocks bounded by a byte budget (default 4 MiB).  When the buffer is full
+/// the oldest block is evicted — its parameters are lost, which is acceptable
+/// because only the *variability* part is dropped; the commonality part has
+/// already been recorded in the pattern libraries.
+#[derive(Debug, Clone)]
+pub struct ParamsBuffer {
+    capacity_bytes: usize,
+    used_bytes: usize,
+    blocks: VecDeque<TraceParams>,
+    evicted_blocks: u64,
+}
+
+impl ParamsBuffer {
+    /// Creates a buffer with the given byte budget.
+    pub fn new(capacity_bytes: usize) -> Self {
+        ParamsBuffer {
+            capacity_bytes: capacity_bytes.max(1),
+            used_bytes: 0,
+            blocks: VecDeque::new(),
+            evicted_blocks: 0,
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Bytes currently held.
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// Number of blocks currently held.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the buffer holds no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Number of blocks evicted because the buffer was full.
+    pub fn evicted_blocks(&self) -> u64 {
+        self.evicted_blocks
+    }
+
+    /// Pushes a parameter block, evicting from the front until it fits.
+    pub fn push(&mut self, block: TraceParams) {
+        let size = block.wire_size();
+        while self.used_bytes + size > self.capacity_bytes && !self.blocks.is_empty() {
+            if let Some(evicted) = self.blocks.pop_front() {
+                self.used_bytes -= evicted.wire_size();
+                self.evicted_blocks += 1;
+            }
+        }
+        self.used_bytes += size;
+        self.blocks.push_back(block);
+    }
+
+    /// Removes and returns the block for `trace_id`, if still buffered.
+    pub fn take(&mut self, trace_id: TraceId) -> Option<TraceParams> {
+        let idx = self.blocks.iter().position(|b| b.trace_id == trace_id)?;
+        let block = self.blocks.remove(idx)?;
+        self.used_bytes -= block.wire_size();
+        Some(block)
+    }
+
+    /// Whether a block for `trace_id` is currently buffered.
+    pub fn contains(&self, trace_id: TraceId) -> bool {
+        self.blocks.iter().any(|b| b.trace_id == trace_id)
+    }
+
+    /// Iterates over buffered blocks from oldest to newest.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceParams> {
+        self.blocks.iter()
+    }
+
+    /// Drains every block out of the buffer.
+    pub fn drain(&mut self) -> Vec<TraceParams> {
+        self.used_bytes = 0;
+        self.blocks.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(trace: u128, spans: usize, payload: usize) -> TraceParams {
+        let mut b = TraceParams::new(TraceId::from_u128(trace));
+        for i in 0..spans {
+            b.spans.push(SpanParams {
+                span_id: SpanId::from_u64(i as u64 + 1),
+                parent_id: SpanId::INVALID,
+                pattern: PatternId::from_u128(1),
+                start_time_us: 0,
+                duration_bucket: 5,
+                duration_offset: 1.5,
+                status_error: false,
+                attr_params: vec![(
+                    "sql".to_owned(),
+                    ParamValue::StrVars(vec!["x".repeat(payload)]),
+                )],
+            });
+        }
+        b
+    }
+
+    #[test]
+    fn param_value_sizes() {
+        assert_eq!(ParamValue::Bool(true).wire_size(), 2);
+        // Small integral offsets are varint-encoded: tag + bucket + offset.
+        assert_eq!(ParamValue::Num { bucket: 3, offset: 1.0 }.wire_size(), 3);
+        assert!(
+            ParamValue::Num { bucket: 3, offset: 123_456.0 }.wire_size()
+                > ParamValue::Num { bucket: 3, offset: 1.0 }.wire_size()
+        );
+        assert_eq!(ParamValue::Num { bucket: 3, offset: 0.125 }.wire_size(), 10);
+        assert!(ParamValue::StrVars(vec!["abc".into()]).wire_size() > 5);
+        // Numeric string fragments are cheaper than arbitrary text.
+        assert!(
+            ParamValue::StrVars(vec!["1234567".into()]).wire_size()
+                < ParamValue::StrVars(vec!["abcdefg".into()]).wire_size()
+        );
+        assert!(ParamValue::Raw(AttrValue::str("abc")).wire_size() > 5);
+    }
+
+    #[test]
+    fn buffer_accounts_bytes() {
+        let mut buffer = ParamsBuffer::new(10_000);
+        let b = block(1, 2, 10);
+        let size = b.wire_size();
+        buffer.push(b);
+        assert_eq!(buffer.used_bytes(), size);
+        assert_eq!(buffer.len(), 1);
+        assert!(buffer.contains(TraceId::from_u128(1)));
+    }
+
+    #[test]
+    fn buffer_evicts_oldest_when_full() {
+        let mut buffer = ParamsBuffer::new(600);
+        for trace in 1..=10u128 {
+            buffer.push(block(trace, 1, 100));
+        }
+        assert!(buffer.evicted_blocks() > 0);
+        assert!(!buffer.contains(TraceId::from_u128(1)));
+        assert!(buffer.contains(TraceId::from_u128(10)));
+        assert!(buffer.used_bytes() <= 600);
+    }
+
+    #[test]
+    fn take_removes_block() {
+        let mut buffer = ParamsBuffer::new(10_000);
+        buffer.push(block(5, 1, 10));
+        buffer.push(block(6, 1, 10));
+        let taken = buffer.take(TraceId::from_u128(5)).unwrap();
+        assert_eq!(taken.trace_id, TraceId::from_u128(5));
+        assert!(!buffer.contains(TraceId::from_u128(5)));
+        assert!(buffer.take(TraceId::from_u128(5)).is_none());
+        assert_eq!(buffer.len(), 1);
+    }
+
+    #[test]
+    fn drain_empties_buffer() {
+        let mut buffer = ParamsBuffer::new(10_000);
+        buffer.push(block(1, 1, 10));
+        buffer.push(block(2, 1, 10));
+        let drained = buffer.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(buffer.is_empty());
+        assert_eq!(buffer.used_bytes(), 0);
+    }
+
+    #[test]
+    fn oversized_block_is_still_accepted() {
+        // A single block larger than the budget is kept (the buffer cannot
+        // split blocks); it simply occupies the whole buffer.
+        let mut buffer = ParamsBuffer::new(64);
+        buffer.push(block(1, 3, 200));
+        assert_eq!(buffer.len(), 1);
+        buffer.push(block(2, 1, 10));
+        assert!(!buffer.contains(TraceId::from_u128(1)));
+    }
+
+    #[test]
+    fn trace_params_helpers() {
+        let b = block(9, 3, 4);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+        assert!(TraceParams::new(TraceId::from_u128(1)).is_empty());
+    }
+}

@@ -1,0 +1,374 @@
+//! Mint's samplers (§4.2): which traces get their *parameters* uploaded.
+//!
+//! Under the commonality + variability paradigm no trace is ever discarded —
+//! sampling only decides whether a trace's variable parameters are shipped to
+//! the backend (exact trace) or left to age out of the agent-side buffer
+//! (approximate trace).  Mint provides two biased samplers designed for this
+//! paradigm, plus a deterministic head sampler for compatibility experiments.
+
+use crate::config::MintConfig;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use trace_model::{AttrValue, Span, TraceId};
+
+/// Why (or whether) a trace was selected for full parameter retention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SamplerDecision {
+    /// Selected by the symptom sampler (abnormal value or latency outlier).
+    Symptom,
+    /// Selected by the edge-case sampler (rare execution path).
+    EdgeCase,
+    /// Selected by head sampling.
+    Head,
+    /// Not selected: only the commonality part is retained.
+    NotSampled,
+}
+
+impl SamplerDecision {
+    /// Whether the trace's parameters should be uploaded.
+    pub fn is_sampled(&self) -> bool {
+        !matches!(self, SamplerDecision::NotSampled)
+    }
+
+    /// Combines two decisions, preferring the sampled one.
+    pub fn or(self, other: SamplerDecision) -> SamplerDecision {
+        if self.is_sampled() {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+/// Streaming quantile tracker: keeps a bounded reservoir of recent values
+/// and reports the configured quantile over it.
+#[derive(Debug, Clone)]
+struct QuantileTracker {
+    values: Vec<f64>,
+    capacity: usize,
+    cursor: usize,
+}
+
+impl QuantileTracker {
+    fn new(capacity: usize) -> Self {
+        QuantileTracker {
+            values: Vec::with_capacity(capacity.min(64)),
+            capacity: capacity.max(8),
+            cursor: 0,
+        }
+    }
+
+    fn observe(&mut self, value: f64) {
+        if self.values.len() < self.capacity {
+            self.values.push(value);
+        } else {
+            self.values[self.cursor] = value;
+            self.cursor = (self.cursor + 1) % self.capacity;
+        }
+    }
+
+    fn quantile(&self, q: f64) -> Option<f64> {
+        if self.values.len() < 8 {
+            return None;
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let rank = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+        sorted.get(rank).copied()
+    }
+}
+
+/// The Symptom Sampler: monitors the variable parameters flowing through the
+/// agent and marks traces with abnormal values (error statuses, abnormal
+/// words, 5xx codes) or outliers (values above the configured quantile of
+/// their attribute's recent history) as sampled.
+#[derive(Debug, Clone)]
+pub struct SymptomSampler {
+    abnormal_words: Vec<String>,
+    quantile: f64,
+    numeric_history: HashMap<String, QuantileTracker>,
+    duration_history: HashMap<String, QuantileTracker>,
+    observed_spans: u64,
+    triggered: u64,
+}
+
+impl SymptomSampler {
+    /// Creates a sampler from the Mint configuration.
+    pub fn new(config: &MintConfig) -> Self {
+        SymptomSampler {
+            abnormal_words: config
+                .abnormal_words
+                .iter()
+                .map(|w| w.to_ascii_lowercase())
+                .collect(),
+            quantile: config.symptom_quantile,
+            numeric_history: HashMap::new(),
+            duration_history: HashMap::new(),
+            observed_spans: 0,
+            triggered: 0,
+        }
+    }
+
+    /// Observes one span and reports whether it is symptomatic.
+    pub fn observe_span(&mut self, span: &Span) -> bool {
+        self.observed_spans += 1;
+        let mut symptomatic = span.status().is_error();
+
+        // Latency outlier relative to the (service, operation)'s history.
+        let op_key = format!("{}::{}", span.service(), span.name());
+        let duration = span.duration_us() as f64;
+        let tracker = self
+            .duration_history
+            .entry(op_key)
+            .or_insert_with(|| QuantileTracker::new(512));
+        if let Some(p) = tracker.quantile(self.quantile) {
+            // Require a clear outlier (well above the P95 of recent history)
+            // so ordinary jitter does not inflate the sampled fraction.
+            if duration > p * 2.0 {
+                symptomatic = true;
+            }
+        }
+        tracker.observe(duration);
+
+        for (key, value) in span.attributes().iter() {
+            match value {
+                AttrValue::Str(s) => {
+                    let lower = s.to_ascii_lowercase();
+                    if self.abnormal_words.iter().any(|w| lower.contains(w)) {
+                        symptomatic = true;
+                    }
+                }
+                AttrValue::Int(_) | AttrValue::Float(_) => {
+                    let v = value.as_f64().unwrap_or(0.0);
+                    let tracker = self
+                        .numeric_history
+                        .entry(key.to_owned())
+                        .or_insert_with(|| QuantileTracker::new(512));
+                    if let Some(p) = tracker.quantile(self.quantile) {
+                        if v > p * 2.0 {
+                            symptomatic = true;
+                        }
+                    }
+                    tracker.observe(v);
+                }
+                AttrValue::Bool(_) => {}
+            }
+        }
+        if symptomatic {
+            self.triggered += 1;
+        }
+        symptomatic
+    }
+
+    /// Number of spans observed so far.
+    pub fn observed_spans(&self) -> u64 {
+        self.observed_spans
+    }
+
+    /// Number of spans flagged symptomatic so far.
+    pub fn triggered(&self) -> u64 {
+        self.triggered
+    }
+}
+
+/// The Edge-Case Sampler: monitors topology-pattern match counts and samples
+/// traces whose execution path is rare — the pattern has matched only a
+/// handful of sub-traces *and* accounts for a tiny share of the traffic seen
+/// so far (so common paths are not oversampled while the system warms up).
+#[derive(Debug, Clone)]
+pub struct EdgeCaseSampler {
+    rare_threshold: u64,
+    max_frequency: f64,
+    decisions: u64,
+    triggered: u64,
+}
+
+impl EdgeCaseSampler {
+    /// Creates a sampler from the Mint configuration.
+    pub fn new(config: &MintConfig) -> Self {
+        EdgeCaseSampler {
+            rare_threshold: config.edge_case_rare_threshold,
+            max_frequency: config.edge_case_max_frequency,
+            decisions: 0,
+            triggered: 0,
+        }
+    }
+
+    /// Decides whether a trace matching a topology pattern seen
+    /// `pattern_match_count` times (including this one), out of
+    /// `total_matches` sub-traces observed overall, is an edge case.
+    pub fn observe(&mut self, pattern_match_count: u64, total_matches: u64) -> bool {
+        self.decisions += 1;
+        let frequency = pattern_match_count as f64 / total_matches.max(1) as f64;
+        let rare = pattern_match_count <= self.rare_threshold && frequency <= self.max_frequency;
+        if rare {
+            self.triggered += 1;
+        }
+        rare
+    }
+
+    /// Number of decisions taken.
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Number of traces flagged as edge cases.
+    pub fn triggered(&self) -> u64 {
+        self.triggered
+    }
+}
+
+/// Deterministic head sampler: the decision is a pure function of the trace
+/// id, so every agent in the deployment makes the same choice without
+/// coordination.
+#[derive(Debug, Clone, Copy)]
+pub struct HeadSampler {
+    rate: f64,
+}
+
+impl HeadSampler {
+    /// Creates a head sampler with the given sampling rate in `[0, 1]`.
+    pub fn new(rate: f64) -> Self {
+        HeadSampler {
+            rate: rate.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The configured rate.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Whether `trace_id` is head-sampled.
+    pub fn decide(&self, trace_id: TraceId) -> bool {
+        if self.rate >= 1.0 {
+            return true;
+        }
+        if self.rate <= 0.0 {
+            return false;
+        }
+        // Cheap splitmix-style hash of the id, mapped to [0, 1).
+        let mut x = trace_id.as_u128() as u64 ^ (trace_id.as_u128() >> 64) as u64;
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        (x as f64 / u64::MAX as f64) < self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trace_model::{SpanId, SpanStatus};
+
+    fn span(duration: u64, status_code: i64, message: &str) -> Span {
+        Span::builder(TraceId::from_u128(1), SpanId::from_u64(1))
+            .service("svc")
+            .name("op")
+            .duration_us(duration)
+            .attr("http.status_code", AttrValue::Int(status_code))
+            .attr("log.message", AttrValue::str(message))
+            .build()
+    }
+
+    #[test]
+    fn error_status_is_symptomatic() {
+        let mut sampler = SymptomSampler::new(&MintConfig::default());
+        let mut errored = span(100, 200, "all good");
+        errored.set_status(SpanStatus::Error);
+        assert!(sampler.observe_span(&errored));
+        assert_eq!(sampler.triggered(), 1);
+    }
+
+    #[test]
+    fn abnormal_words_are_symptomatic() {
+        let mut sampler = SymptomSampler::new(&MintConfig::default());
+        assert!(sampler.observe_span(&span(100, 200, "connection TIMEOUT while calling db")));
+        assert!(sampler.observe_span(&span(100, 502, "upstream returned 502 bad gateway")));
+        assert!(!sampler.observe_span(&span(100, 200, "request completed")));
+    }
+
+    #[test]
+    fn latency_outliers_are_symptomatic() {
+        let mut sampler = SymptomSampler::new(&MintConfig::default());
+        for _ in 0..100 {
+            assert!(!sampler.observe_span(&span(100, 200, "ok")));
+        }
+        assert!(sampler.observe_span(&span(100_000, 200, "ok")));
+        assert_eq!(sampler.observed_spans(), 101);
+    }
+
+    #[test]
+    fn numeric_attribute_outliers_are_symptomatic() {
+        let mut config = MintConfig::default();
+        config.abnormal_words.clear();
+        let mut sampler = SymptomSampler::new(&config);
+        for i in 0..100 {
+            let s = Span::builder(TraceId::from_u128(1), SpanId::from_u64(i))
+                .service("svc")
+                .name("op")
+                .duration_us(100)
+                .attr("queue.depth", AttrValue::Int(10))
+                .build();
+            sampler.observe_span(&s);
+        }
+        let spike = Span::builder(TraceId::from_u128(1), SpanId::from_u64(999))
+            .service("svc")
+            .name("op")
+            .duration_us(100)
+            .attr("queue.depth", AttrValue::Int(10_000))
+            .build();
+        assert!(sampler.observe_span(&spike));
+    }
+
+    #[test]
+    fn edge_case_sampler_flags_rare_patterns() {
+        let mut sampler = EdgeCaseSampler::new(&MintConfig::default());
+        // Rare path: few matches, tiny share of the traffic.
+        assert!(sampler.observe(1, 5_000));
+        assert!(sampler.observe(10, 5_000));
+        // Too many matches, or too large a share of traffic: not an edge case.
+        assert!(!sampler.observe(11, 5_000));
+        assert!(!sampler.observe(5, 20));
+        assert!(!sampler.observe(5_000, 10_000));
+        assert_eq!(sampler.decisions(), 5);
+        assert_eq!(sampler.triggered(), 2);
+    }
+
+    #[test]
+    fn head_sampler_rate_is_respected() {
+        let sampler = HeadSampler::new(0.05);
+        let sampled = (0..20_000u128)
+            .filter(|i| sampler.decide(TraceId::from_u128(*i)))
+            .count();
+        let rate = sampled as f64 / 20_000.0;
+        assert!((0.03..0.07).contains(&rate), "rate {rate}");
+        assert!(HeadSampler::new(1.0).decide(TraceId::from_u128(1)));
+        assert!(!HeadSampler::new(0.0).decide(TraceId::from_u128(1)));
+    }
+
+    #[test]
+    fn head_sampler_is_deterministic() {
+        let a = HeadSampler::new(0.1);
+        let b = HeadSampler::new(0.1);
+        for i in 0..100u128 {
+            assert_eq!(a.decide(TraceId::from_u128(i)), b.decide(TraceId::from_u128(i)));
+        }
+    }
+
+    #[test]
+    fn decision_combinators() {
+        assert!(SamplerDecision::Symptom.is_sampled());
+        assert!(!SamplerDecision::NotSampled.is_sampled());
+        assert_eq!(
+            SamplerDecision::NotSampled.or(SamplerDecision::EdgeCase),
+            SamplerDecision::EdgeCase
+        );
+        assert_eq!(
+            SamplerDecision::Head.or(SamplerDecision::Symptom),
+            SamplerDecision::Head
+        );
+    }
+}

@@ -1,0 +1,423 @@
+//! Per-attribute parsers and the prefix index used for online matching.
+
+use super::numeric::NumericBucketer;
+use super::template::StringTemplate;
+use crate::lcs::tokenize;
+use crate::params::ParamValue;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use trace_model::AttrValue;
+
+/// The pattern component produced by parsing one attribute value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttrPattern {
+    /// A string attribute matched template `template_id` of its key's parser.
+    Template {
+        /// Index of the template within the attribute's parser.
+        template_id: usize,
+    },
+    /// A numeric attribute.  The exponential bucket and offset are stored as
+    /// the parameter ([`ParamValue::Num`]); the bucket is deliberately kept
+    /// out of the pattern identity so wide-range numerics do not multiply the
+    /// number of span patterns combinatorially.
+    Numeric,
+    /// A boolean attribute (the value itself is the parameter).
+    Flag,
+}
+
+/// A prefix index over string templates: maps a template's first constant
+/// token to the template ids that start with it, so online matching only
+/// scores a handful of candidates instead of every template (the paper's
+/// prefix-tree optimization, §3.2.1 "Parsers building").
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PrefixIndex {
+    by_first_const: HashMap<String, Vec<usize>>,
+    leading_var: Vec<usize>,
+}
+
+impl PrefixIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        PrefixIndex::default()
+    }
+
+    /// Registers a template under its id.
+    pub fn insert(&mut self, template_id: usize, template: &StringTemplate) {
+        match template.first_const() {
+            Some(first) if !template.starts_with_var() => {
+                self.by_first_const
+                    .entry(first.to_owned())
+                    .or_default()
+                    .push(template_id);
+            }
+            _ => self.leading_var.push(template_id),
+        }
+    }
+
+    /// Rebuilds the index from scratch (used after a template's leading
+    /// token changes due to generalization).
+    pub fn rebuild(&mut self, templates: &[StringTemplate]) {
+        self.by_first_const.clear();
+        self.leading_var.clear();
+        for (id, template) in templates.iter().enumerate() {
+            self.insert(id, template);
+        }
+    }
+
+    /// Candidate template ids for a tokenized value: templates whose first
+    /// constant token equals the value's first token, plus every template
+    /// that starts with a variable slot.
+    pub fn candidates(&self, tokens: &[String]) -> Vec<usize> {
+        let mut out = Vec::new();
+        if let Some(first) = tokens.first() {
+            if let Some(ids) = self.by_first_const.get(first) {
+                out.extend_from_slice(ids);
+            }
+        }
+        out.extend_from_slice(&self.leading_var);
+        out
+    }
+
+    /// Number of indexed templates.
+    pub fn len(&self) -> usize {
+        self.by_first_const.values().map(Vec::len).sum::<usize>() + self.leading_var.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The parser for one string-valued attribute key: a set of templates plus
+/// the prefix index used to match new values quickly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StringAttributeParser {
+    templates: Vec<StringTemplate>,
+    index: PrefixIndex,
+    threshold: f64,
+    /// When `false`, candidate pruning is disabled and every template is
+    /// scored (linear scan) — used by the ablation benchmarks.
+    use_index: bool,
+}
+
+impl StringAttributeParser {
+    /// Creates an empty parser with the given similarity threshold.
+    pub fn new(threshold: f64) -> Self {
+        StringAttributeParser {
+            templates: Vec::new(),
+            index: PrefixIndex::new(),
+            threshold,
+            use_index: true,
+        }
+    }
+
+    /// Disables the prefix index (linear scanning), for ablation studies.
+    pub fn with_linear_scan(mut self) -> Self {
+        self.use_index = false;
+        self
+    }
+
+    /// The templates learned so far.
+    pub fn templates(&self) -> &[StringTemplate] {
+        &self.templates
+    }
+
+    /// Number of templates.
+    pub fn template_count(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// Adds a template built from a raw value (all-constant tokens) and
+    /// returns its id.  Used by the offline warm-up after clustering.
+    pub fn add_template(&mut self, template: StringTemplate) -> usize {
+        let id = self.templates.len();
+        self.index.insert(id, &template);
+        self.templates.push(template);
+        id
+    }
+
+    /// Finds the best-matching template for a tokenized value.
+    /// Returns `(template_id, similarity)`.
+    pub fn best_match(&self, tokens: &[String]) -> Option<(usize, f64)> {
+        let candidate_ids: Vec<usize> = if self.use_index {
+            self.index.candidates(tokens)
+        } else {
+            (0..self.templates.len()).collect()
+        };
+        let mut best: Option<(usize, f64)> = None;
+        for id in candidate_ids {
+            let score = self.templates[id].similarity_to(tokens);
+            if best.map(|(_, s)| score > s).unwrap_or(true) {
+                best = Some((id, score));
+            }
+        }
+        // Fall back to a full scan when pruning found nothing acceptable:
+        // generalized templates may no longer share the first token.
+        if self.use_index && best.map(|(_, s)| s < self.threshold).unwrap_or(true) {
+            for (id, template) in self.templates.iter().enumerate() {
+                let score = template.similarity_to(tokens);
+                if best.map(|(_, s)| score > s).unwrap_or(true) {
+                    best = Some((id, score));
+                }
+            }
+        }
+        best
+    }
+
+    /// Parses a raw string value: matches (or creates) a template and
+    /// extracts the variable parameters.
+    ///
+    /// Returns `(template_id, params)`.
+    pub fn parse(&mut self, value: &str) -> (usize, Vec<String>) {
+        let tokens = tokenize(value);
+
+        // Fast path: structural alignment against the indexed candidates.
+        // In steady state almost every value aligns with an existing
+        // template, so the quadratic LCS similarity is rarely needed.
+        // Candidates with more constant tokens are preferred so an overly
+        // general template does not shadow a more specific one.
+        let mut candidates: Vec<usize> = if self.use_index {
+            self.index.candidates(&tokens)
+        } else {
+            (0..self.templates.len()).collect()
+        };
+        candidates.sort_by_key(|&id| std::cmp::Reverse(self.templates[id].const_tokens().len()));
+        for id in candidates {
+            if let Some(params) = self.templates[id].match_and_extract(&tokens) {
+                return (id, params);
+            }
+        }
+
+        match self.best_match(&tokens) {
+            Some((id, score)) if score >= self.threshold => {
+                if let Some(params) = self.templates[id].match_and_extract(&tokens) {
+                    return (id, params);
+                }
+                // Similar but the skeleton does not align: generalize the
+                // template so this (and future) values fit, then re-extract.
+                let first_before = self.templates[id].first_const().map(str::to_owned);
+                self.templates[id].generalize(&tokens);
+                if self.templates[id].first_const().map(str::to_owned) != first_before {
+                    self.index.rebuild(&self.templates);
+                }
+                let params = self.templates[id]
+                    .match_and_extract(&tokens)
+                    .unwrap_or_else(|| vec![value.to_owned()]);
+                (id, params)
+            }
+            _ => {
+                // Seed a new template, pre-masking identifier-like tokens so
+                // one-off values (ids, IPs, counters) do not each become a
+                // distinct pattern.
+                let template = StringTemplate::from_raw_tokens(&tokens);
+                let params = template.match_and_extract(&tokens).unwrap_or_default();
+                let id = self.add_template(template);
+                (id, params)
+            }
+        }
+    }
+
+    /// Total bytes needed to store this parser's templates.
+    pub fn stored_size(&self) -> usize {
+        self.templates.iter().map(StringTemplate::stored_size).sum()
+    }
+}
+
+/// The parser attached to one attribute key.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AttributeParser {
+    /// Parser for string values.
+    Strings(StringAttributeParser),
+    /// Parser for numeric values.
+    Numeric(NumericBucketer),
+    /// Parser for boolean values (no pattern to learn).
+    Booleans,
+}
+
+impl AttributeParser {
+    /// Creates the appropriate parser for a sample value.
+    pub fn for_value(value: &AttrValue, threshold: f64, alpha: f64) -> Self {
+        match value {
+            AttrValue::Str(_) => AttributeParser::Strings(StringAttributeParser::new(threshold)),
+            AttrValue::Int(_) | AttrValue::Float(_) => {
+                AttributeParser::Numeric(NumericBucketer::from_alpha(alpha))
+            }
+            AttrValue::Bool(_) => AttributeParser::Booleans,
+        }
+    }
+
+    /// Parses a value into its pattern component and parameter.
+    pub fn parse(&mut self, value: &AttrValue) -> (AttrPattern, ParamValue) {
+        match (self, value) {
+            (AttributeParser::Strings(parser), AttrValue::Str(s)) => {
+                let (template_id, params) = parser.parse(s);
+                (AttrPattern::Template { template_id }, ParamValue::StrVars(params))
+            }
+            (AttributeParser::Numeric(bucketer), value) if value.is_numeric() => {
+                let v = value.as_f64().expect("numeric value");
+                let (bucket, offset) = bucketer.parse(v);
+                (AttrPattern::Numeric, ParamValue::Num { bucket, offset })
+            }
+            (AttributeParser::Booleans, AttrValue::Bool(b)) => {
+                (AttrPattern::Flag, ParamValue::Bool(*b))
+            }
+            // Type drift (e.g. a key that is usually numeric suddenly holds a
+            // string): keep the raw value as the parameter.
+            (_, value) => (AttrPattern::Flag, ParamValue::Raw(value.clone())),
+        }
+    }
+
+    /// Number of distinct patterns this parser knows about (templates for
+    /// strings; numeric/boolean parsers are closed-form and count as one).
+    pub fn pattern_count(&self) -> usize {
+        match self {
+            AttributeParser::Strings(p) => p.template_count(),
+            AttributeParser::Numeric(_) | AttributeParser::Booleans => 1,
+        }
+    }
+
+    /// Bytes needed to store the parser's learned patterns.
+    pub fn stored_size(&self) -> usize {
+        match self {
+            AttributeParser::Strings(p) => p.stored_size(),
+            AttributeParser::Numeric(_) => 16,
+            AttributeParser::Booleans => 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_parser_reuses_templates_for_similar_values() {
+        let mut parser = StringAttributeParser::new(0.8);
+        let (id1, _) = parser.parse("SELECT * FROM orders WHERE id = 1");
+        let (id2, params) = parser.parse("SELECT * FROM orders WHERE id = 999");
+        assert_eq!(id1, id2);
+        assert_eq!(parser.template_count(), 1);
+        assert_eq!(params, vec!["999".to_string()]);
+    }
+
+    #[test]
+    fn string_parser_creates_new_template_for_dissimilar_values() {
+        let mut parser = StringAttributeParser::new(0.8);
+        parser.parse("SELECT * FROM orders WHERE id = 1");
+        let (id, _) = parser.parse("HGETALL cart:user-42");
+        assert_eq!(id, 1);
+        assert_eq!(parser.template_count(), 2);
+    }
+
+    #[test]
+    fn repeated_identical_values_extract_empty_params() {
+        let mut parser = StringAttributeParser::new(0.8);
+        parser.parse("POST");
+        let (id, params) = parser.parse("POST");
+        assert_eq!(id, 0);
+        assert!(params.is_empty());
+        assert_eq!(parser.template_count(), 1);
+    }
+
+    #[test]
+    fn linear_and_indexed_matching_agree() {
+        let values = [
+            "SELECT * FROM orders WHERE id = 1",
+            "SELECT * FROM users WHERE id = 2",
+            "HGETALL cart:abc",
+            "HGETALL cart:def",
+            "/v1/campus/user=42",
+            "/v1/billing/user=77",
+        ];
+        let mut indexed = StringAttributeParser::new(0.8);
+        let mut linear = StringAttributeParser::new(0.8).with_linear_scan();
+        for value in values {
+            indexed.parse(value);
+            linear.parse(value);
+        }
+        assert_eq!(indexed.template_count(), linear.template_count());
+    }
+
+    #[test]
+    fn prefix_index_candidates_prune_by_first_token() {
+        let mut parser = StringAttributeParser::new(0.8);
+        for value in [
+            "SELECT * FROM a",
+            "UPDATE b SET x = 1",
+            "DELETE FROM c",
+        ] {
+            parser.parse(value);
+        }
+        let tokens = tokenize("SELECT * FROM zzz");
+        let candidates = parser.index.candidates(&tokens);
+        assert_eq!(candidates.len(), 1);
+    }
+
+    #[test]
+    fn numeric_parser_roundtrips() {
+        let mut parser = AttributeParser::Numeric(NumericBucketer::default());
+        let (pattern, param) = parser.parse(&AttrValue::Int(57));
+        assert_eq!(pattern, AttrPattern::Numeric);
+        let (bucket, offset) = match param {
+            ParamValue::Num { bucket, offset } => (bucket, offset),
+            other => panic!("unexpected param {other:?}"),
+        };
+        let rebuilt = NumericBucketer::default().reconstruct(bucket, offset);
+        assert!((rebuilt - 57.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn boolean_parser_emits_flag() {
+        let mut parser = AttributeParser::Booleans;
+        let (pattern, param) = parser.parse(&AttrValue::Bool(true));
+        assert_eq!(pattern, AttrPattern::Flag);
+        assert_eq!(param, ParamValue::Bool(true));
+    }
+
+    #[test]
+    fn type_drift_falls_back_to_raw() {
+        let mut parser = AttributeParser::Numeric(NumericBucketer::default());
+        let (pattern, param) = parser.parse(&AttrValue::str("oops"));
+        assert_eq!(pattern, AttrPattern::Flag);
+        assert_eq!(param, ParamValue::Raw(AttrValue::str("oops")));
+    }
+
+    #[test]
+    fn for_value_picks_parser_kind() {
+        let threshold = 0.8;
+        assert!(matches!(
+            AttributeParser::for_value(&AttrValue::str("x"), threshold, 0.5),
+            AttributeParser::Strings(_)
+        ));
+        assert!(matches!(
+            AttributeParser::for_value(&AttrValue::Int(3), threshold, 0.5),
+            AttributeParser::Numeric(_)
+        ));
+        assert!(matches!(
+            AttributeParser::for_value(&AttrValue::Bool(true), threshold, 0.5),
+            AttributeParser::Booleans
+        ));
+    }
+
+    #[test]
+    fn stored_size_grows_with_templates() {
+        let mut parser = StringAttributeParser::new(0.8);
+        parser.parse("alpha beta gamma");
+        let small = parser.stored_size();
+        parser.parse("completely different content here");
+        assert!(parser.stored_size() > small);
+    }
+
+    #[test]
+    fn generalization_keeps_template_count_stable() {
+        let mut parser = StringAttributeParser::new(0.6);
+        parser.parse("report job 12 finished in 30 ms");
+        parser.parse("report job 99 finished in 7 ms");
+        parser.parse("report job 3 finished in 1205 ms");
+        assert_eq!(parser.template_count(), 1);
+        let template = &parser.templates()[0];
+        assert!(template.var_count() >= 1);
+        assert!(template.masked().contains("report job"));
+    }
+}

@@ -1,0 +1,603 @@
+//! Inter-span level parsing (§3.2): spans → span patterns + parameters.
+//!
+//! The [`SpanParser`] owns one [`AttributeParser`](attribute::AttributeParser)
+//! per attribute key plus a numeric bucketer for span durations.  Parsing a
+//! span yields a [`SpanPattern`] (registered in the [`SpanPatternLibrary`])
+//! and the span's variable [`SpanParams`].  A read-only [`PatternCatalog`]
+//! snapshot of everything the parser has learned is what the collector ships
+//! to the backend, and what the backend uses to reconstruct exact or
+//! approximate spans at query time.
+
+mod attribute;
+mod numeric;
+mod offline;
+mod template;
+
+pub use attribute::{AttrPattern, AttributeParser, PrefixIndex, StringAttributeParser};
+pub use numeric::{NumericBucketer, NON_POSITIVE_BUCKET};
+pub use offline::cluster_strings;
+pub use template::{StringTemplate, TemplateToken};
+
+use crate::config::MintConfig;
+use crate::params::{ParamValue, SpanParams};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use trace_model::{AttrValue, Attributes, PatternId, Span, SpanKind, SpanStatus, TraceId};
+
+/// A span pattern: the commonality part of a span (§3.2.1 "Patterns
+/// combination") — the service, operation, kind and the per-attribute
+/// pattern references that always appear together.
+///
+/// Span durations are *not* part of the pattern identity (they are stored as
+/// a bucket + offset parameter); the library instead tracks per-pattern
+/// duration statistics so approximate traces can still report a duration
+/// range without wide-latency operations splintering into one pattern per
+/// bucket.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SpanPattern {
+    /// The service that produced spans of this pattern.
+    pub service: String,
+    /// The operation (span) name.
+    pub name: String,
+    /// The span kind.
+    pub kind: SpanKind,
+    /// Per-attribute pattern components, ordered by key.
+    pub attrs: Vec<(String, AttrPattern)>,
+}
+
+impl SpanPattern {
+    /// Approximate number of bytes the pattern occupies in the library.
+    pub fn stored_size(&self) -> usize {
+        16 + self.service.len()
+            + self.name.len()
+            + self
+                .attrs
+                .iter()
+                .map(|(k, _)| k.len() + 10)
+                .sum::<usize>()
+    }
+}
+
+/// Per-pattern duration statistics, maintained so that approximate traces
+/// can report a duration range for unsampled spans.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DurationStats {
+    /// Number of spans observed for the pattern.
+    pub count: u64,
+    /// Minimum observed duration in microseconds.
+    pub min_us: u64,
+    /// Maximum observed duration in microseconds.
+    pub max_us: u64,
+    /// Sum of observed durations (for the mean).
+    pub sum_us: u64,
+}
+
+impl DurationStats {
+    fn observe(&mut self, duration_us: u64) {
+        self.count += 1;
+        self.min_us = self.min_us.min(duration_us);
+        self.max_us = self.max_us.max(duration_us);
+        self.sum_us += duration_us;
+    }
+
+    /// The mean observed duration.
+    pub fn mean_us(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.sum_us / self.count
+        }
+    }
+}
+
+impl Default for DurationStats {
+    fn default() -> Self {
+        DurationStats {
+            count: 0,
+            min_us: u64::MAX,
+            max_us: 0,
+            sum_us: 0,
+        }
+    }
+}
+
+/// The library of span patterns discovered so far, mapping each pattern to a
+/// stable [`PatternId`] and tracking per-pattern duration statistics.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SpanPatternLibrary {
+    by_pattern: HashMap<SpanPattern, PatternId>,
+    by_id: Vec<SpanPattern>,
+    durations: Vec<DurationStats>,
+}
+
+impl SpanPatternLibrary {
+    /// Creates an empty library.
+    pub fn new() -> Self {
+        SpanPatternLibrary::default()
+    }
+
+    /// Returns the id for `pattern`, inserting it if new, and records the
+    /// observed span duration against it.
+    /// The boolean is `true` when the pattern was newly inserted.
+    pub fn get_or_insert(&mut self, pattern: SpanPattern, duration_us: u64) -> (PatternId, bool) {
+        if let Some(&id) = self.by_pattern.get(&pattern) {
+            let index = (id.as_u128() - 1) as usize;
+            self.durations[index].observe(duration_us);
+            return (id, false);
+        }
+        let id = PatternId::from_u128(self.by_id.len() as u128 + 1);
+        self.by_pattern.insert(pattern.clone(), id);
+        self.by_id.push(pattern);
+        let mut stats = DurationStats::default();
+        stats.observe(duration_us);
+        self.durations.push(stats);
+        (id, true)
+    }
+
+    /// Looks up a pattern by id.
+    pub fn get(&self, id: PatternId) -> Option<&SpanPattern> {
+        let index = id.as_u128().checked_sub(1)? as usize;
+        self.by_id.get(index)
+    }
+
+    /// The duration statistics recorded for a pattern.
+    pub fn duration_stats(&self, id: PatternId) -> Option<DurationStats> {
+        let index = id.as_u128().checked_sub(1)? as usize;
+        self.durations.get(index).copied()
+    }
+
+    /// Number of patterns in the library.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// Whether the library is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Iterates over `(id, pattern)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (PatternId, &SpanPattern)> {
+        self.by_id
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (PatternId::from_u128(i as u128 + 1), p))
+    }
+
+    /// Total bytes of all stored patterns (duration statistics included).
+    pub fn stored_size(&self) -> usize {
+        self.by_id.iter().map(SpanPattern::stored_size).sum::<usize>() + self.durations.len() * 16
+    }
+}
+
+/// A read-only snapshot of everything the span parser has learned: span
+/// patterns, string templates and numeric bucketers.  This is the
+/// "Pattern Library" payload the collector periodically uploads, and the
+/// backend's dictionary for reconstructing spans.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PatternCatalog {
+    /// The span pattern library.
+    pub spans: SpanPatternLibrary,
+    /// String templates per attribute key.
+    pub templates: HashMap<String, Vec<StringTemplate>>,
+    /// Numeric bucketers per attribute key.
+    pub bucketers: HashMap<String, NumericBucketer>,
+    /// Bucketer used for span durations.
+    pub duration_bucketer: NumericBucketer,
+}
+
+impl PatternCatalog {
+    /// Total bytes occupied by the catalog when uploaded/stored.
+    pub fn stored_size(&self) -> usize {
+        self.spans.stored_size()
+            + self
+                .templates
+                .values()
+                .flat_map(|ts| ts.iter().map(StringTemplate::stored_size))
+                .sum::<usize>()
+            + self.bucketers.len() * 16
+            + 16
+    }
+
+    /// Reconstructs the exact span described by `params` (pattern +
+    /// variability), or `None` if the pattern id is unknown.
+    pub fn reconstruct_span(&self, trace_id: TraceId, params: &SpanParams) -> Option<Span> {
+        let pattern = self.spans.get(params.pattern)?;
+        let mut attributes = Attributes::with_capacity(pattern.attrs.len());
+        for (idx, (key, attr_pattern)) in pattern.attrs.iter().enumerate() {
+            let param = params.attr_params.get(idx).map(|(_, v)| v);
+            let value = self.reconstruct_attr(key, attr_pattern, param);
+            attributes.insert(key.clone(), value);
+        }
+        let duration = self
+            .duration_bucketer
+            .reconstruct(params.duration_bucket, params.duration_offset)
+            .max(0.0)
+            .round() as u64;
+        let mut builder = Span::builder(trace_id, params.span_id)
+            .parent(params.parent_id)
+            .name(pattern.name.clone())
+            .service(pattern.service.clone())
+            .kind(pattern.kind)
+            .start_time_us(params.start_time_us)
+            .duration_us(duration)
+            .status(if params.status_error {
+                SpanStatus::Error
+            } else {
+                SpanStatus::Ok
+            });
+        for (key, value) in attributes.iter() {
+            builder = builder.attr(key, value.clone());
+        }
+        Some(builder.build())
+    }
+
+    fn reconstruct_attr(
+        &self,
+        key: &str,
+        pattern: &AttrPattern,
+        param: Option<&ParamValue>,
+    ) -> AttrValue {
+        match (pattern, param) {
+            (AttrPattern::Template { template_id }, Some(ParamValue::StrVars(vars))) => {
+                match self.templates.get(key).and_then(|ts| ts.get(*template_id)) {
+                    Some(template) => AttrValue::Str(template.reconstruct(vars)),
+                    None => AttrValue::Str(vars.join(" ")),
+                }
+            }
+            (AttrPattern::Template { template_id }, _) => {
+                match self.templates.get(key).and_then(|ts| ts.get(*template_id)) {
+                    Some(template) => AttrValue::Str(template.masked()),
+                    None => AttrValue::Str("<*>".to_owned()),
+                }
+            }
+            (AttrPattern::Numeric, Some(ParamValue::Num { bucket, offset })) => {
+                let bucketer = self.bucketers.get(key).copied().unwrap_or_default();
+                AttrValue::Float(bucketer.reconstruct(*bucket, *offset))
+            }
+            (AttrPattern::Numeric, _) => AttrValue::Str("<num>".to_owned()),
+            (AttrPattern::Flag, Some(ParamValue::Bool(b))) => AttrValue::Bool(*b),
+            (AttrPattern::Flag, Some(ParamValue::Raw(value))) => value.clone(),
+            (AttrPattern::Flag, _) => AttrValue::Str("<*>".to_owned()),
+        }
+    }
+
+    /// Renders the masked (approximate) value of every attribute of a span
+    /// pattern, as shown in the paper's Fig. 10: string variables become
+    /// `<*>`, numeric values become their bucket interval.
+    pub fn masked_attributes(&self, pattern_id: PatternId) -> Vec<(String, String)> {
+        let Some(pattern) = self.spans.get(pattern_id) else {
+            return Vec::new();
+        };
+        pattern
+            .attrs
+            .iter()
+            .map(|(key, attr_pattern)| {
+                let rendered = match attr_pattern {
+                    AttrPattern::Template { template_id } => self
+                        .templates
+                        .get(key)
+                        .and_then(|ts| ts.get(*template_id))
+                        .map(|t| t.masked())
+                        .unwrap_or_else(|| "<*>".to_owned()),
+                    AttrPattern::Numeric => "<num>".to_owned(),
+                    AttrPattern::Flag => "<*>".to_owned(),
+                };
+                (key.clone(), rendered)
+            })
+            .collect()
+    }
+}
+
+/// The inter-span level parser (§3.2).
+#[derive(Debug, Clone)]
+pub struct SpanParser {
+    threshold: f64,
+    alpha: f64,
+    attr_parsers: HashMap<String, AttributeParser>,
+    duration_bucketer: NumericBucketer,
+    library: SpanPatternLibrary,
+    parsed_spans: u64,
+}
+
+impl SpanParser {
+    /// Creates a parser from a Mint configuration.
+    pub fn new(config: &MintConfig) -> Self {
+        SpanParser {
+            threshold: config.similarity_threshold,
+            alpha: config.numeric_precision,
+            attr_parsers: HashMap::new(),
+            duration_bucketer: NumericBucketer::from_alpha(config.numeric_precision),
+            library: SpanPatternLibrary::new(),
+            parsed_spans: 0,
+        }
+    }
+
+    /// Offline warm-up (§3.2.1): builds the initial attribute parsers from a
+    /// sample of raw spans so the online phase does not start cold.
+    pub fn warm_up(&mut self, spans: &[Span]) {
+        // Greedy-leader clustering is O(values × clusters); a few hundred
+        // values per attribute are plenty to discover its templates, so the
+        // per-key sample is capped to keep warm-up cheap.
+        const MAX_VALUES_PER_KEY: usize = 256;
+        // Collect string values per key, then cluster them into templates.
+        let mut string_values: HashMap<&str, Vec<&str>> = HashMap::new();
+        for span in spans {
+            for (key, value) in span.attributes().iter() {
+                match value {
+                    AttrValue::Str(s) => {
+                        let bucket = string_values.entry(key).or_default();
+                        if bucket.len() < MAX_VALUES_PER_KEY {
+                            bucket.push(s.as_str());
+                        }
+                    }
+                    AttrValue::Int(_) | AttrValue::Float(_) => {
+                        self.attr_parsers.entry(key.to_owned()).or_insert_with(|| {
+                            AttributeParser::Numeric(NumericBucketer::from_alpha(self.alpha))
+                        });
+                    }
+                    AttrValue::Bool(_) => {
+                        self.attr_parsers
+                            .entry(key.to_owned())
+                            .or_insert(AttributeParser::Booleans);
+                    }
+                }
+            }
+        }
+        for (key, values) in string_values {
+            let templates = cluster_strings(&values, self.threshold);
+            let mut parser = StringAttributeParser::new(self.threshold);
+            for template in templates {
+                parser.add_template(template);
+            }
+            self.attr_parsers
+                .insert(key.to_owned(), AttributeParser::Strings(parser));
+        }
+    }
+
+    /// Parses one span into its pattern id and variable parameters.
+    /// The boolean is `true` when a new span pattern was created.
+    pub fn parse(&mut self, span: &Span) -> (PatternId, SpanParams, bool) {
+        self.parsed_spans += 1;
+        let mut attr_patterns = Vec::with_capacity(span.attributes().len());
+        let mut attr_params = Vec::with_capacity(span.attributes().len());
+        for (key, value) in span.attributes().iter() {
+            let parser = self
+                .attr_parsers
+                .entry(key.to_owned())
+                .or_insert_with(|| AttributeParser::for_value(value, self.threshold, self.alpha));
+            let (pattern, param) = parser.parse(value);
+            attr_patterns.push((key.to_owned(), pattern));
+            attr_params.push((key.to_owned(), param));
+        }
+        let (duration_bucket, duration_offset) =
+            self.duration_bucketer.parse(span.duration_us() as f64);
+        let pattern = SpanPattern {
+            service: span.service().to_owned(),
+            name: span.name().to_owned(),
+            kind: span.kind(),
+            attrs: attr_patterns,
+        };
+        let (pattern_id, is_new) = self.library.get_or_insert(pattern, span.duration_us());
+        let params = SpanParams {
+            span_id: span.span_id(),
+            parent_id: span.parent_id(),
+            pattern: pattern_id,
+            start_time_us: span.start_time_us(),
+            duration_bucket,
+            duration_offset,
+            status_error: span.status().is_error(),
+            attr_params,
+        };
+        (pattern_id, params, is_new)
+    }
+
+    /// The span pattern library.
+    pub fn library(&self) -> &SpanPatternLibrary {
+        &self.library
+    }
+
+    /// Number of spans parsed so far.
+    pub fn parsed_spans(&self) -> u64 {
+        self.parsed_spans
+    }
+
+    /// Total number of attribute-level patterns (string templates) learned.
+    pub fn attribute_pattern_count(&self) -> usize {
+        self.attr_parsers.values().map(AttributeParser::pattern_count).sum()
+    }
+
+    /// Bytes needed to store the full pattern library (span patterns plus
+    /// attribute templates), i.e. the payload of a periodic library upload.
+    pub fn library_size_bytes(&self) -> usize {
+        self.library.stored_size()
+            + self
+                .attr_parsers
+                .values()
+                .map(AttributeParser::stored_size)
+                .sum::<usize>()
+    }
+
+    /// Builds the read-only catalog snapshot for reporting / querying.
+    pub fn catalog(&self) -> PatternCatalog {
+        let mut templates = HashMap::new();
+        let mut bucketers = HashMap::new();
+        for (key, parser) in &self.attr_parsers {
+            match parser {
+                AttributeParser::Strings(p) => {
+                    templates.insert(key.clone(), p.templates().to_vec());
+                }
+                AttributeParser::Numeric(b) => {
+                    bucketers.insert(key.clone(), *b);
+                }
+                AttributeParser::Booleans => {}
+            }
+        }
+        PatternCatalog {
+            spans: self.library.clone(),
+            templates,
+            bucketers,
+            duration_bucketer: self.duration_bucketer,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trace_model::SpanId;
+
+    fn span(id: u64, service: &str, name: &str, sql_id: u64, duration: u64) -> Span {
+        Span::builder(TraceId::from_u128(1), SpanId::from_u64(id))
+            .service(service)
+            .name(name)
+            .kind(SpanKind::Server)
+            .duration_us(duration)
+            .start_time_us(1000 + id)
+            .attr(
+                "sql.query",
+                AttrValue::Str(format!("SELECT * FROM orders WHERE id = {sql_id}")),
+            )
+            .attr("db.rows", AttrValue::Int(40 + (sql_id % 10) as i64))
+            .attr("cache.hit", AttrValue::Bool(sql_id % 2 == 0))
+            .build()
+    }
+
+    fn parser() -> SpanParser {
+        SpanParser::new(&MintConfig::default())
+    }
+
+    #[test]
+    fn similar_spans_share_a_pattern() {
+        let mut parser = parser();
+        let (p1, _, new1) = parser.parse(&span(1, "db", "query", 10, 500));
+        let (p2, _, new2) = parser.parse(&span(2, "db", "query", 999, 510));
+        assert_eq!(p1, p2);
+        assert!(new1);
+        assert!(!new2);
+        assert_eq!(parser.library().len(), 1);
+    }
+
+    #[test]
+    fn different_services_get_different_patterns() {
+        let mut parser = parser();
+        let (p1, _, _) = parser.parse(&span(1, "db", "query", 10, 500));
+        let (p2, _, _) = parser.parse(&span(2, "cache", "query", 10, 500));
+        assert_ne!(p1, p2);
+        assert_eq!(parser.library().len(), 2);
+    }
+
+    #[test]
+    fn durations_do_not_split_patterns_but_are_tracked() {
+        let mut parser = parser();
+        let (p1, params1, _) = parser.parse(&span(1, "db", "query", 10, 100));
+        let (p2, params2, _) = parser.parse(&span(2, "db", "query", 11, 100_000));
+        assert_eq!(p1, p2);
+        assert_ne!(params1.duration_bucket, params2.duration_bucket);
+        let stats = parser.library().duration_stats(p1).unwrap();
+        assert_eq!(stats.count, 2);
+        assert_eq!(stats.min_us, 100);
+        assert_eq!(stats.max_us, 100_000);
+        assert_eq!(stats.mean_us(), 50_050);
+    }
+
+    #[test]
+    fn warm_up_prebuilds_templates() {
+        let mut parser = parser();
+        let sample: Vec<Span> = (0..50).map(|i| span(i, "db", "query", i, 500)).collect();
+        parser.warm_up(&sample);
+        assert!(parser.attribute_pattern_count() >= 1);
+        // Online parsing after warm-up should not create extra templates for
+        // the same shape of value.
+        let before = parser.attribute_pattern_count();
+        for i in 100..150 {
+            parser.parse(&span(i, "db", "query", i, 500));
+        }
+        assert_eq!(parser.attribute_pattern_count(), before);
+    }
+
+    #[test]
+    fn parse_then_reconstruct_is_exact() {
+        let mut parser = parser();
+        // Warm up so templates are stable before the spans we check.
+        let sample: Vec<Span> = (0..20).map(|i| span(i, "db", "query", i, 500)).collect();
+        parser.warm_up(&sample);
+        let original = span(42, "db", "query", 4211, 777);
+        let (_, params, _) = parser.parse(&original);
+        let catalog = parser.catalog();
+        let rebuilt = catalog
+            .reconstruct_span(original.trace_id(), &params)
+            .unwrap();
+        assert_eq!(rebuilt.span_id(), original.span_id());
+        assert_eq!(rebuilt.service(), original.service());
+        assert_eq!(rebuilt.name(), original.name());
+        assert_eq!(rebuilt.duration_us(), original.duration_us());
+        assert_eq!(
+            rebuilt.attributes().get("db.rows").unwrap().as_f64(),
+            Some(original.attributes().get("db.rows").unwrap().as_f64().unwrap())
+        );
+        assert_eq!(
+            rebuilt.attributes().get("cache.hit"),
+            original.attributes().get("cache.hit")
+        );
+        // String attribute round-trips at token level.
+        let original_sql = original.attributes().get("sql.query").unwrap().as_str().unwrap();
+        let rebuilt_sql = rebuilt.attributes().get("sql.query").unwrap().as_str().unwrap();
+        assert_eq!(
+            crate::lcs::tokenize(rebuilt_sql),
+            crate::lcs::tokenize(original_sql)
+        );
+    }
+
+    #[test]
+    fn masked_attributes_hide_variables() {
+        let mut parser = parser();
+        parser.parse(&span(1, "db", "query", 10, 500));
+        let (pattern_id, _, _) = parser.parse(&span(2, "db", "query", 999, 500));
+        let catalog = parser.catalog();
+        let masked = catalog.masked_attributes(pattern_id);
+        let sql = masked.iter().find(|(k, _)| k == "sql.query").unwrap();
+        assert!(sql.1.contains("<*>"), "masked sql: {}", sql.1);
+        let rows = masked.iter().find(|(k, _)| k == "db.rows").unwrap();
+        assert_eq!(rows.1, "<num>");
+    }
+
+    #[test]
+    fn library_size_grows_with_patterns() {
+        let mut parser = parser();
+        parser.parse(&span(1, "db", "query", 10, 500));
+        let small = parser.library_size_bytes();
+        parser.parse(&span(2, "api", "handle", 11, 800));
+        assert!(parser.library_size_bytes() > small);
+        assert!(parser.catalog().stored_size() > 0);
+    }
+
+    #[test]
+    fn library_lookup_by_id() {
+        let mut library = SpanPatternLibrary::new();
+        let pattern = SpanPattern {
+            service: "s".into(),
+            name: "n".into(),
+            kind: SpanKind::Server,
+            attrs: vec![],
+        };
+        let (id, fresh) = library.get_or_insert(pattern.clone(), 250);
+        assert!(fresh);
+        assert_eq!(library.get(id), Some(&pattern));
+        assert!(library.get(PatternId::from_u128(99)).is_none());
+        assert!(library.duration_stats(PatternId::from_u128(99)).is_none());
+        assert_eq!(library.iter().count(), 1);
+    }
+
+    #[test]
+    fn pattern_count_statistics() {
+        let mut parser = parser();
+        for i in 0..30 {
+            parser.parse(&span(i, "db", "query", i, 500));
+        }
+        assert_eq!(parser.parsed_spans(), 30);
+        // Library converges to a handful of patterns despite 30 spans
+        // (duration jitter may split across adjacent buckets).
+        assert!(parser.library().len() <= 3);
+    }
+}

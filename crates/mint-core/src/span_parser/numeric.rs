@@ -1,0 +1,182 @@
+//! Exponential bucketing of numeric attribute values.
+//!
+//! Numeric attributes are parsed into a bucket index (the common pattern) and
+//! an offset from the bucket's lower bound (the variable parameter), per
+//! §3.2.1 of the paper: with precision α and γ = (1+α)/(1−α), value `d` falls
+//! into bucket `⌈log_γ d⌉`, so bucket `i` covers `(γ^(i−1), γ^i]` and bucket
+//! 0 covers `(0, 1]`.
+
+use serde::{Deserialize, Serialize};
+
+/// Bucket assigned to non-positive values (the paper only discusses positive
+/// values; zero and negatives are grouped into a single catch-all bucket with
+/// lower bound 0 so reconstruction stays exact).
+pub const NON_POSITIVE_BUCKET: i64 = i64::MIN;
+
+/// The numeric attribute parser: a closed-form mapping from value to bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NumericBucketer {
+    gamma: f64,
+}
+
+impl NumericBucketer {
+    /// Creates a bucketer from the precision parameter α ∈ (0, 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1)`.
+    pub fn from_alpha(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+        NumericBucketer {
+            gamma: (1.0 + alpha) / (1.0 - alpha),
+        }
+    }
+
+    /// The γ base.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// The bucket index for `value`.
+    pub fn bucket(&self, value: f64) -> i64 {
+        if value <= 0.0 || !value.is_finite() {
+            return NON_POSITIVE_BUCKET;
+        }
+        // Subtract a tiny epsilon so exact powers of gamma stay in their own
+        // bucket despite floating-point rounding of the logarithm.
+        let raw = (value.log(self.gamma) - 1e-9).ceil();
+        if raw <= 0.0 {
+            0
+        } else {
+            raw as i64
+        }
+    }
+
+    /// The lower bound of bucket `index` (exclusive for positive buckets).
+    pub fn lower_bound(&self, index: i64) -> f64 {
+        if index == NON_POSITIVE_BUCKET || index <= 0 {
+            0.0
+        } else {
+            self.gamma.powi((index - 1) as i32)
+        }
+    }
+
+    /// The upper bound of bucket `index` (inclusive).
+    pub fn upper_bound(&self, index: i64) -> f64 {
+        if index == NON_POSITIVE_BUCKET {
+            0.0
+        } else {
+            self.gamma.powi(index as i32)
+        }
+    }
+
+    /// Parses a value into `(bucket, offset)` where
+    /// `value = lower_bound(bucket) + offset`.
+    pub fn parse(&self, value: f64) -> (i64, f64) {
+        let bucket = self.bucket(value);
+        (bucket, value - self.lower_bound(bucket))
+    }
+
+    /// Reconstructs the exact value from a `(bucket, offset)` pair.
+    pub fn reconstruct(&self, bucket: i64, offset: f64) -> f64 {
+        self.lower_bound(bucket) + offset
+    }
+
+    /// A human-readable label of the bucket interval, used when rendering
+    /// approximate traces (e.g. `(27, 81]`).
+    pub fn range_label(&self, bucket: i64) -> String {
+        if bucket == NON_POSITIVE_BUCKET {
+            "(-inf, 0]".to_owned()
+        } else {
+            format!("({:.0}, {:.0}]", self.lower_bound(bucket), self.upper_bound(bucket))
+        }
+    }
+}
+
+impl Default for NumericBucketer {
+    fn default() -> Self {
+        NumericBucketer::from_alpha(0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_alpha_gives_gamma_three() {
+        let b = NumericBucketer::default();
+        assert!((b.gamma() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unit_interval_goes_to_bucket_zero() {
+        let b = NumericBucketer::default();
+        assert_eq!(b.bucket(0.001), 0);
+        assert_eq!(b.bucket(0.5), 0);
+        assert_eq!(b.bucket(1.0), 0);
+    }
+
+    #[test]
+    fn buckets_follow_powers_of_gamma() {
+        let b = NumericBucketer::default();
+        // gamma = 3: bucket 1 covers (1, 3], bucket 2 covers (3, 9], etc.
+        assert_eq!(b.bucket(2.0), 1);
+        assert_eq!(b.bucket(3.0), 1);
+        assert_eq!(b.bucket(3.1), 2);
+        assert_eq!(b.bucket(9.0), 2);
+        assert_eq!(b.bucket(10.0), 3);
+        assert_eq!(b.bucket(27.0), 3);
+        assert_eq!(b.bucket(28.0), 4);
+    }
+
+    #[test]
+    fn bounds_bracket_members() {
+        let b = NumericBucketer::default();
+        for value in [0.2, 1.5, 4.0, 57.0, 1234.5, 9_999_999.0] {
+            let bucket = b.bucket(value);
+            assert!(value > b.lower_bound(bucket) || bucket == 0);
+            assert!(value <= b.upper_bound(bucket) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn parse_reconstruct_is_exact() {
+        let b = NumericBucketer::default();
+        for value in [0.0, -5.0, 0.3, 1.0, 57.0, 170_469.0, 5_769.25] {
+            let (bucket, offset) = b.parse(value);
+            let rebuilt = b.reconstruct(bucket, offset);
+            assert!((rebuilt - value).abs() < 1e-9, "{value} -> {rebuilt}");
+        }
+    }
+
+    #[test]
+    fn non_positive_values_share_a_bucket() {
+        let b = NumericBucketer::default();
+        assert_eq!(b.bucket(0.0), NON_POSITIVE_BUCKET);
+        assert_eq!(b.bucket(-3.5), NON_POSITIVE_BUCKET);
+        assert_eq!(b.bucket(f64::NAN), NON_POSITIVE_BUCKET);
+        assert_eq!(b.lower_bound(NON_POSITIVE_BUCKET), 0.0);
+    }
+
+    #[test]
+    fn range_labels_are_readable() {
+        let b = NumericBucketer::default();
+        assert_eq!(b.range_label(4), "(27, 81]");
+        assert_eq!(b.range_label(NON_POSITIVE_BUCKET), "(-inf, 0]");
+    }
+
+    #[test]
+    fn higher_precision_means_narrower_buckets() {
+        let coarse = NumericBucketer::from_alpha(0.5);
+        let fine = NumericBucketer::from_alpha(0.1);
+        // Narrower buckets => more buckets for the same value.
+        assert!(fine.bucket(10_000.0) > coarse.bucket(10_000.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0,1)")]
+    fn invalid_alpha_panics() {
+        NumericBucketer::from_alpha(1.0);
+    }
+}

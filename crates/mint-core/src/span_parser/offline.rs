@@ -1,0 +1,103 @@
+//! Offline warm-up: clustering sampled attribute values into templates.
+//!
+//! Before Mint starts parsing online, it samples `m` recent spans (default
+//! 5 000) and builds the initial per-attribute parsers from them (§3.2.1).
+//! String values of one attribute are clustered greedily by LCS similarity;
+//! every cluster is collapsed into a single [`StringTemplate`].
+
+use super::template::StringTemplate;
+use crate::lcs::{similarity, tokenize};
+
+/// Clusters raw string values by LCS similarity (threshold `threshold`) and
+/// returns one template per cluster.
+///
+/// The clustering is the greedy leader algorithm: each value is compared to
+/// the representative (first member) of every existing cluster and joins the
+/// first cluster whose similarity is at or above the threshold; otherwise it
+/// starts a new cluster.  This is `O(n · k)` with `k` clusters, which matches
+/// the paper's observation that cluster counts stay small (tens of patterns
+/// per attribute).
+pub fn cluster_strings(values: &[&str], threshold: f64) -> Vec<StringTemplate> {
+    let mut representatives: Vec<Vec<String>> = Vec::new();
+    let mut templates: Vec<StringTemplate> = Vec::new();
+    for value in values {
+        let tokens = tokenize(value);
+        let mut assigned = false;
+        for (idx, representative) in representatives.iter().enumerate() {
+            if similarity(representative, &tokens) >= threshold {
+                templates[idx].generalize(&tokens);
+                assigned = true;
+                break;
+            }
+        }
+        if !assigned {
+            templates.push(StringTemplate::from_raw_tokens(&tokens));
+            representatives.push(tokens);
+        }
+    }
+    templates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn similar_values_form_one_cluster() {
+        let values = [
+            "SELECT * FROM orders WHERE id = 1",
+            "SELECT * FROM orders WHERE id = 22",
+            "SELECT * FROM orders WHERE id = 333",
+        ];
+        let templates = cluster_strings(&values, 0.8);
+        assert_eq!(templates.len(), 1);
+        assert!(templates[0].var_count() >= 1);
+        assert!(templates[0].masked().starts_with("SELECT * FROM orders"));
+    }
+
+    #[test]
+    fn dissimilar_values_form_separate_clusters() {
+        let values = [
+            "SELECT * FROM orders WHERE id = 1",
+            "HGETALL cart:42 field sku",
+            "POST",
+            "HGETALL cart:99 field sku",
+        ];
+        let templates = cluster_strings(&values, 0.8);
+        assert_eq!(templates.len(), 3);
+    }
+
+    #[test]
+    fn empty_input_yields_no_templates() {
+        assert!(cluster_strings(&[], 0.8).is_empty());
+    }
+
+    #[test]
+    fn lower_threshold_merges_more() {
+        let values = [
+            "job 1 finished in 10 ms",
+            "job 2 failed after 99 ms",
+            "job 3 finished in 7 ms",
+        ];
+        let strict = cluster_strings(&values, 0.9);
+        let loose = cluster_strings(&values, 0.3);
+        assert!(loose.len() <= strict.len());
+        assert_eq!(loose.len(), 1);
+    }
+
+    #[test]
+    fn cluster_templates_match_their_members() {
+        let values = [
+            "/v1/campus/user=aa11",
+            "/v1/campus/user=bb22",
+            "/v1/campus/user=cc33",
+        ];
+        let templates = cluster_strings(&values, 0.8);
+        assert_eq!(templates.len(), 1);
+        for value in values {
+            assert!(templates[0]
+                .match_and_extract(&tokenize(value))
+                .is_some());
+        }
+    }
+}

@@ -1,0 +1,426 @@
+//! String templates: the common skeleton of a cluster of attribute values.
+
+use crate::lcs::{lcs_length, similarity};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One token of a string template: either a constant word or a variable slot.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TemplateToken {
+    /// A constant token that every member of the cluster shares.
+    Const(String),
+    /// A variable slot (rendered `<*>` in approximate traces).
+    Var,
+}
+
+/// The common pattern of a cluster of string attribute values.
+///
+/// A template is a sequence of constant tokens and variable slots, e.g.
+/// `SELECT * FROM <*> WHERE id = <*>`.  Parsing a concrete value against the
+/// template yields the per-slot parameters; the template itself is stored
+/// once in the pattern library.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StringTemplate {
+    tokens: Vec<TemplateToken>,
+}
+
+/// Whether a token is "obviously variable": it contains a decimal digit.
+/// Identifiers, counters, IP addresses, hex ids and timestamps all match this
+/// rule, which is the standard pre-masking step log parsers apply before
+/// clustering so that one-off identifier values do not spawn one template
+/// each.
+pub fn is_variable_token(token: &str) -> bool {
+    token.chars().any(|c| c.is_ascii_digit())
+}
+
+impl StringTemplate {
+    /// Creates a template whose tokens are all constants (a cluster of one).
+    pub fn from_tokens(tokens: &[String]) -> Self {
+        StringTemplate {
+            tokens: tokens.iter().cloned().map(TemplateToken::Const).collect(),
+        }
+    }
+
+    /// Creates a template from raw tokens, pre-masking digit-bearing tokens
+    /// as variable slots (one slot per masked token).  This is how online
+    /// parsing and offline clustering seed new templates so that identifier
+    /// values never become constants.
+    pub fn from_raw_tokens(tokens: &[String]) -> Self {
+        StringTemplate {
+            tokens: tokens
+                .iter()
+                .map(|t| {
+                    if is_variable_token(t) {
+                        TemplateToken::Var
+                    } else {
+                        TemplateToken::Const(t.clone())
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// The template tokens.
+    pub fn tokens(&self) -> &[TemplateToken] {
+        &self.tokens
+    }
+
+    /// Number of variable slots.
+    pub fn var_count(&self) -> usize {
+        self.tokens
+            .iter()
+            .filter(|t| matches!(t, TemplateToken::Var))
+            .count()
+    }
+
+    /// The constant tokens, in order.
+    pub fn const_tokens(&self) -> Vec<&str> {
+        self.tokens
+            .iter()
+            .filter_map(|t| match t {
+                TemplateToken::Const(s) => Some(s.as_str()),
+                TemplateToken::Var => None,
+            })
+            .collect()
+    }
+
+    /// The first constant token, if any (used for prefix-based candidate
+    /// pruning).
+    pub fn first_const(&self) -> Option<&str> {
+        self.tokens.iter().find_map(|t| match t {
+            TemplateToken::Const(s) => Some(s.as_str()),
+            TemplateToken::Var => None,
+        })
+    }
+
+    /// Whether the template starts with a variable slot.
+    pub fn starts_with_var(&self) -> bool {
+        matches!(self.tokens.first(), Some(TemplateToken::Var))
+    }
+
+    /// Similarity between this template and a tokenized value, following the
+    /// paper's LCS formula.  Variable slots match any single token.
+    pub fn similarity_to(&self, tokens: &[String]) -> f64 {
+        if self.tokens.is_empty() && tokens.is_empty() {
+            return 1.0;
+        }
+        let denom = self.tokens.len().max(tokens.len());
+        if denom == 0 {
+            return 1.0;
+        }
+        // LCS where Const must equal the token and Var matches anything.
+        let a = &self.tokens;
+        let b = tokens;
+        let mut prev = vec![0usize; b.len() + 1];
+        let mut curr = vec![0usize; b.len() + 1];
+        for token_a in a {
+            for (j, token_b) in b.iter().enumerate() {
+                let matches = match token_a {
+                    TemplateToken::Const(s) => s == token_b,
+                    TemplateToken::Var => true,
+                };
+                curr[j + 1] = if matches {
+                    prev[j] + 1
+                } else {
+                    prev[j + 1].max(curr[j])
+                };
+            }
+            std::mem::swap(&mut prev, &mut curr);
+        }
+        prev[b.len()] as f64 / denom as f64
+    }
+
+    /// Generalizes the template so that it also covers `tokens`: constant
+    /// tokens not shared with `tokens` become variable slots (consecutive
+    /// slots are collapsed).  Returns `true` if the template changed.
+    pub fn generalize(&mut self, tokens: &[String]) -> bool {
+        let merged = merge(&self.tokens, tokens);
+        if merged != self.tokens {
+            self.tokens = merged;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Matches a tokenized value against the template and extracts one
+    /// parameter string per variable slot (tokens in a slot are joined with a
+    /// single space; a slot may be empty).
+    ///
+    /// Returns `None` if the constant skeleton does not align with the value.
+    pub fn match_and_extract(&self, tokens: &[String]) -> Option<Vec<String>> {
+        let mut params = Vec::with_capacity(self.var_count());
+        let mut pos = 0usize;
+        let mut i = 0usize;
+        while i < self.tokens.len() {
+            match &self.tokens[i] {
+                TemplateToken::Const(expected) => {
+                    if pos < tokens.len() && &tokens[pos] == expected {
+                        pos += 1;
+                        i += 1;
+                    } else {
+                        return None;
+                    }
+                }
+                TemplateToken::Var => {
+                    // Find the next constant anchor, if any.
+                    let anchor = self.tokens[i + 1..].iter().find_map(|t| match t {
+                        TemplateToken::Const(s) => Some(s.as_str()),
+                        TemplateToken::Var => None,
+                    });
+                    let start = pos;
+                    match anchor {
+                        Some(anchor) => {
+                            while pos < tokens.len() && tokens[pos] != anchor {
+                                pos += 1;
+                            }
+                            if pos >= tokens.len() {
+                                return None;
+                            }
+                        }
+                        None => pos = tokens.len(),
+                    }
+                    params.push(tokens[start..pos].join(" "));
+                    i += 1;
+                }
+            }
+        }
+        if pos == tokens.len() {
+            Some(params)
+        } else {
+            None
+        }
+    }
+
+    /// Reconstructs a (whitespace-normalized) value from per-slot parameters.
+    /// Missing parameters render as `<*>`.
+    pub fn reconstruct(&self, params: &[String]) -> String {
+        let mut parts: Vec<&str> = Vec::with_capacity(self.tokens.len());
+        let mut var_index = 0usize;
+        for token in &self.tokens {
+            match token {
+                TemplateToken::Const(s) => parts.push(s),
+                TemplateToken::Var => {
+                    parts.push(params.get(var_index).map(String::as_str).unwrap_or("<*>"));
+                    var_index += 1;
+                }
+            }
+        }
+        parts
+            .into_iter()
+            .filter(|p| !p.is_empty())
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// Renders the template with every variable slot masked as `<*>` — the
+    /// representation shown in approximate traces (Fig. 10 of the paper).
+    pub fn masked(&self) -> String {
+        let parts: Vec<&str> = self
+            .tokens
+            .iter()
+            .map(|t| match t {
+                TemplateToken::Const(s) => s.as_str(),
+                TemplateToken::Var => "<*>",
+            })
+            .collect();
+        parts.join(" ")
+    }
+
+    /// Size in bytes of the template when stored in the pattern library.
+    pub fn stored_size(&self) -> usize {
+        self.tokens
+            .iter()
+            .map(|t| match t {
+                TemplateToken::Const(s) => s.len() + 1,
+                TemplateToken::Var => 3,
+            })
+            .sum::<usize>()
+            + 4
+    }
+
+    /// Similarity between the constant skeletons of two templates.
+    pub fn skeleton_similarity(&self, other: &StringTemplate) -> f64 {
+        let a: Vec<String> = self.const_tokens().iter().map(|s| s.to_string()).collect();
+        let b: Vec<String> = other.const_tokens().iter().map(|s| s.to_string()).collect();
+        if a.is_empty() && b.is_empty() {
+            return 1.0;
+        }
+        similarity(&a, &b)
+    }
+}
+
+impl fmt::Display for StringTemplate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.masked())
+    }
+}
+
+/// Merges a template token sequence with a raw token sequence: tokens on the
+/// LCS stay constant, everything else becomes a (collapsed) variable slot.
+fn merge(template: &[TemplateToken], tokens: &[String]) -> Vec<TemplateToken> {
+    // Dynamic program over (template, tokens) where only Const tokens match.
+    let n = template.len();
+    let m = tokens.len();
+    let mut dp = vec![vec![0usize; m + 1]; n + 1];
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            let matches = matches!(&template[i], TemplateToken::Const(s) if s == &tokens[j]);
+            dp[i][j] = if matches {
+                dp[i + 1][j + 1] + 1
+            } else {
+                dp[i + 1][j].max(dp[i][j + 1])
+            };
+        }
+    }
+    // Traceback.
+    let mut out: Vec<TemplateToken> = Vec::with_capacity(n.max(m));
+    let push_var = |out: &mut Vec<TemplateToken>| {
+        if !matches!(out.last(), Some(TemplateToken::Var)) {
+            out.push(TemplateToken::Var);
+        }
+    };
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < n && j < m {
+        let matches = matches!(&template[i], TemplateToken::Const(s) if s == &tokens[j]);
+        if matches {
+            out.push(template[i].clone());
+            i += 1;
+            j += 1;
+        } else if dp[i + 1][j] >= dp[i][j + 1] {
+            push_var(&mut out);
+            i += 1;
+        } else {
+            push_var(&mut out);
+            j += 1;
+        }
+    }
+    if i < n || j < m {
+        push_var(&mut out);
+    }
+    out
+}
+
+/// Sanity check used by `lcs_length` consumers: kept here so the module has a
+/// single place exercising the generic LCS against template merging.
+#[allow(dead_code)]
+fn template_lcs(template: &StringTemplate, tokens: &[String]) -> usize {
+    let consts: Vec<String> = template.const_tokens().iter().map(|s| s.to_string()).collect();
+    lcs_length(&consts, tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lcs::tokenize;
+
+    fn template_from(values: &[&str]) -> StringTemplate {
+        let mut template = StringTemplate::from_tokens(&tokenize(values[0]));
+        for value in &values[1..] {
+            template.generalize(&tokenize(value));
+        }
+        template
+    }
+
+    #[test]
+    fn single_value_template_is_all_const() {
+        let t = StringTemplate::from_tokens(&tokenize("select * from A"));
+        assert_eq!(t.var_count(), 0);
+        assert_eq!(t.const_tokens(), vec!["select", "*", "from", "A"]);
+        assert_eq!(t.masked(), "select * from A");
+    }
+
+    #[test]
+    fn generalize_introduces_var_slots() {
+        let t = template_from(&["select * from A", "select * from B"]);
+        assert_eq!(t.var_count(), 1);
+        assert_eq!(t.masked(), "select * from <*>");
+    }
+
+    #[test]
+    fn generalize_collapses_adjacent_vars() {
+        let t = template_from(&[
+            "INSERT INTO inventory (a, b)",
+            "INSERT INTO inventory (ccc, ddd)",
+        ]);
+        // The differing tokens are interleaved with constant commas/parens;
+        // masked form keeps the structure.
+        assert!(t.masked().starts_with("INSERT INTO inventory"));
+        assert!(t.var_count() >= 1);
+        // Further identical generalization is a no-op.
+        let mut t2 = t.clone();
+        assert!(!t2.generalize(&tokenize("INSERT INTO inventory (a, b)")));
+    }
+
+    #[test]
+    fn match_and_extract_returns_slot_contents() {
+        let t = template_from(&["select * from A where id = 1", "select * from B where id = 2"]);
+        let params = t
+            .match_and_extract(&tokenize("select * from orders where id = 42"))
+            .unwrap();
+        assert_eq!(params, vec!["orders".to_string(), "42".to_string()]);
+    }
+
+    #[test]
+    fn match_fails_on_skeleton_mismatch() {
+        let t = template_from(&["select * from A", "select * from B"]);
+        assert!(t.match_and_extract(&tokenize("delete from A")).is_none());
+        assert!(t.match_and_extract(&tokenize("select x from A")).is_none());
+    }
+
+    #[test]
+    fn empty_var_slot_is_allowed() {
+        let t = template_from(&["get user alice now", "get user now"]);
+        // "alice" vs nothing: slot may be empty.
+        let params = t.match_and_extract(&tokenize("get user now")).unwrap();
+        assert_eq!(params, vec![String::new()]);
+    }
+
+    #[test]
+    fn reconstruct_roundtrips_token_content() {
+        let t = template_from(&["select * from A where id = 1", "select * from B where id = 2"]);
+        let original = "select * from shipments where id = 777";
+        let tokens = tokenize(original);
+        let params = t.match_and_extract(&tokens).unwrap();
+        let rebuilt = t.reconstruct(&params);
+        assert_eq!(tokenize(&rebuilt), tokens);
+    }
+
+    #[test]
+    fn reconstruct_masks_missing_params() {
+        let t = template_from(&["a x b", "a y b"]);
+        assert_eq!(t.reconstruct(&[]), "a <*> b");
+    }
+
+    #[test]
+    fn similarity_to_rewards_matching_skeleton() {
+        let t = template_from(&["select * from A", "select * from B"]);
+        assert!(t.similarity_to(&tokenize("select * from C")) >= 0.8);
+        assert!(t.similarity_to(&tokenize("HGETALL cart:1")) < 0.3);
+    }
+
+    #[test]
+    fn first_const_and_leading_var() {
+        let all_const = StringTemplate::from_tokens(&tokenize("alpha beta"));
+        assert_eq!(all_const.first_const(), Some("alpha"));
+        assert!(!all_const.starts_with_var());
+        let t = template_from(&["x common", "y common"]);
+        assert!(t.starts_with_var());
+        assert_eq!(t.first_const(), Some("common"));
+    }
+
+    #[test]
+    fn stored_size_is_positive_and_display_matches_masked() {
+        let t = template_from(&["select * from A", "select * from B"]);
+        assert!(t.stored_size() > 0);
+        assert_eq!(format!("{t}"), t.masked());
+    }
+
+    #[test]
+    fn skeleton_similarity_of_related_templates_is_high() {
+        let a = template_from(&["select * from A", "select * from B"]);
+        let b = template_from(&["select * from C where x = 1", "select * from D where x = 2"]);
+        assert!(a.skeleton_similarity(&b) >= 0.5);
+        assert_eq!(a.skeleton_similarity(&a), 1.0);
+    }
+}

@@ -1,0 +1,362 @@
+//! Inter-trace level parsing (§3.3): sub-traces → topology patterns, with
+//! trace metadata mounted on each pattern through a Bloom filter.
+
+use crate::config::MintConfig;
+use mint_bloom::BloomFilter;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use trace_model::{PatternId, SpanId, SubTrace, TraceId};
+
+/// The topology pattern of a sub-trace: which span patterns act as local
+/// entries and the parent→children relationships between span patterns
+/// (the paper's `[b1e6 → {ek35, mx7v}, ek35 → {p8sz}]` encoding, Fig. 8).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TopoPattern {
+    /// Span patterns of the sub-trace's entry (locally parent-less) spans.
+    pub entries: Vec<PatternId>,
+    /// Parent span pattern → sorted child span patterns.
+    pub edges: Vec<(PatternId, Vec<PatternId>)>,
+}
+
+impl TopoPattern {
+    /// Approximate stored size of the pattern in bytes.
+    pub fn stored_size(&self) -> usize {
+        16 * self.entries.len()
+            + self
+                .edges
+                .iter()
+                .map(|(_, children)| 16 + 16 * children.len())
+                .sum::<usize>()
+            + 8
+    }
+
+    /// Total number of span-pattern references in the topology.
+    pub fn node_count(&self) -> usize {
+        self.entries.len() + self.edges.iter().map(|(_, c)| c.len()).sum::<usize>()
+    }
+}
+
+/// The inter-trace level parser: encodes sub-traces into topology patterns.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TraceParser;
+
+impl TraceParser {
+    /// Creates a trace parser.
+    pub fn new() -> Self {
+        TraceParser
+    }
+
+    /// Encodes the topology of `sub_trace`, using `pattern_of` to map each
+    /// local span id to its span pattern id (produced by the span parser).
+    ///
+    /// Spans missing from `pattern_of` are skipped — in a live system this
+    /// cannot happen because every span is parsed before grouping.
+    pub fn encode(
+        &self,
+        sub_trace: &SubTrace,
+        pattern_of: &HashMap<SpanId, PatternId>,
+    ) -> TopoPattern {
+        let local: HashMap<SpanId, PatternId> = sub_trace
+            .spans()
+            .iter()
+            .filter_map(|s| pattern_of.get(&s.span_id()).map(|&p| (s.span_id(), p)))
+            .collect();
+
+        let mut entries: Vec<PatternId> = sub_trace
+            .entry_spans()
+            .iter()
+            .filter_map(|s| local.get(&s.span_id()).copied())
+            .collect();
+        entries.sort_unstable();
+
+        let mut edges: BTreeMap<PatternId, Vec<PatternId>> = BTreeMap::new();
+        for span in sub_trace.spans() {
+            let Some(&child_pattern) = local.get(&span.span_id()) else {
+                continue;
+            };
+            if let Some(&parent_pattern) = local.get(&span.parent_id()) {
+                edges.entry(parent_pattern).or_default().push(child_pattern);
+            }
+        }
+        let edges = edges
+            .into_iter()
+            .map(|(parent, mut children)| {
+                children.sort_unstable();
+                (parent, children)
+            })
+            .collect();
+        TopoPattern { entries, edges }
+    }
+}
+
+/// What happened when a sub-trace was mounted onto the topology library.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObserveOutcome {
+    /// Id of the (new or existing) topology pattern.
+    pub topo_id: PatternId,
+    /// Whether the pattern was newly created.
+    pub is_new_pattern: bool,
+    /// A Bloom filter that reached its capacity and was flushed for upload,
+    /// if any.
+    pub flushed_bloom: Option<BloomFilter>,
+    /// How many sub-traces have matched this pattern so far (including this
+    /// one) — the signal the edge-case sampler uses.
+    pub match_count: u64,
+}
+
+#[derive(Debug, Clone)]
+struct TopoEntry {
+    pattern: TopoPattern,
+    bloom: BloomFilter,
+    matches: u64,
+}
+
+/// The Topo Pattern Library: topology patterns plus, for each pattern, a
+/// Bloom filter holding the trace ids mounted on it (§3.3 "Metadata
+/// Mounting", §4.1 "Pattern Library").
+#[derive(Debug, Clone)]
+pub struct TopoPatternLibrary {
+    by_pattern: HashMap<TopoPattern, usize>,
+    entries: Vec<TopoEntry>,
+    bloom_buffer_bytes: usize,
+    bloom_fpp: f64,
+    flushed_blooms: u64,
+}
+
+impl TopoPatternLibrary {
+    /// Creates an empty library configured from `config`.
+    pub fn new(config: &MintConfig) -> Self {
+        TopoPatternLibrary {
+            by_pattern: HashMap::new(),
+            entries: Vec::new(),
+            bloom_buffer_bytes: config.bloom_buffer_bytes,
+            bloom_fpp: config.bloom_fpp,
+            flushed_blooms: 0,
+        }
+    }
+
+    /// Number of distinct topology patterns.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the library is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of Bloom filters that filled up and were flushed.
+    pub fn flushed_blooms(&self) -> u64 {
+        self.flushed_blooms
+    }
+
+    /// Mounts `trace_id` onto the pattern, creating the pattern if needed.
+    pub fn observe(&mut self, pattern: TopoPattern, trace_id: TraceId) -> ObserveOutcome {
+        let (index, is_new) = match self.by_pattern.get(&pattern) {
+            Some(&index) => (index, false),
+            None => {
+                let index = self.entries.len();
+                self.by_pattern.insert(pattern.clone(), index);
+                self.entries.push(TopoEntry {
+                    pattern,
+                    bloom: BloomFilter::with_byte_budget(self.bloom_buffer_bytes, self.bloom_fpp),
+                    matches: 0,
+                });
+                (index, true)
+            }
+        };
+        let entry = &mut self.entries[index];
+        entry.matches += 1;
+        entry.bloom.insert(&trace_id.as_u128());
+        let flushed_bloom = if entry.bloom.is_full() {
+            let full = entry.bloom.clone();
+            entry.bloom.reset();
+            self.flushed_blooms += 1;
+            Some(full)
+        } else {
+            None
+        };
+        ObserveOutcome {
+            topo_id: PatternId::from_u128(index as u128 + 1),
+            is_new_pattern: is_new,
+            flushed_bloom,
+            match_count: entry.matches,
+        }
+    }
+
+    /// The pattern stored under `id`.
+    pub fn get(&self, id: PatternId) -> Option<&TopoPattern> {
+        let index = id.as_u128().checked_sub(1)? as usize;
+        self.entries.get(index).map(|e| &e.pattern)
+    }
+
+    /// How many sub-traces have matched pattern `id`.
+    pub fn match_count(&self, id: PatternId) -> u64 {
+        id.as_u128()
+            .checked_sub(1)
+            .and_then(|i| self.entries.get(i as usize))
+            .map(|e| e.matches)
+            .unwrap_or(0)
+    }
+
+    /// Total matches across all patterns.
+    pub fn total_matches(&self) -> u64 {
+        self.entries.iter().map(|e| e.matches).sum()
+    }
+
+    /// Iterates over `(id, pattern, match_count)`.
+    pub fn iter(&self) -> impl Iterator<Item = (PatternId, &TopoPattern, u64)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (PatternId::from_u128(i as u128 + 1), &e.pattern, e.matches))
+    }
+
+    /// Drains the current (partial) Bloom filters for a final upload,
+    /// returning `(pattern id, filter)` pairs for non-empty filters.
+    pub fn drain_partial_blooms(&mut self) -> Vec<(PatternId, BloomFilter)> {
+        let mut out = Vec::new();
+        for (i, entry) in self.entries.iter_mut().enumerate() {
+            if !entry.bloom.is_empty() {
+                let bloom = entry.bloom.clone();
+                entry.bloom.reset();
+                out.push((PatternId::from_u128(i as u128 + 1), bloom));
+            }
+        }
+        out
+    }
+
+    /// Bytes needed to store all topology patterns (without Bloom filters).
+    pub fn stored_size(&self) -> usize {
+        self.entries.iter().map(|e| e.pattern.stored_size()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trace_model::{Span, SpanKind};
+
+    fn sub_trace(trace: u128, shape: &[(u64, u64)]) -> (SubTrace, HashMap<SpanId, PatternId>) {
+        // shape: (span id, parent id); pattern id = span id % 3 + 1 for variety.
+        let tid = TraceId::from_u128(trace);
+        let spans: Vec<Span> = shape
+            .iter()
+            .map(|&(id, parent)| {
+                Span::builder(tid, SpanId::from_u64(id))
+                    .parent(SpanId::from_u64(parent))
+                    .service("svc")
+                    .name(format!("op{}", id % 3))
+                    .kind(SpanKind::Server)
+                    .build()
+            })
+            .collect();
+        let mapping = shape
+            .iter()
+            .map(|&(id, _)| (SpanId::from_u64(id), PatternId::from_u128((id % 3 + 1) as u128)))
+            .collect();
+        (SubTrace::new(tid, "svc", spans), mapping)
+    }
+
+    fn default_library() -> TopoPatternLibrary {
+        TopoPatternLibrary::new(&MintConfig::default())
+    }
+
+    #[test]
+    fn encode_captures_edges_and_entries() {
+        let (sub, mapping) = sub_trace(1, &[(1, 0), (2, 1), (3, 1)]);
+        let pattern = TraceParser::new().encode(&sub, &mapping);
+        assert_eq!(pattern.entries, vec![PatternId::from_u128(2)]); // span 1 -> 1%3+1 = 2
+        assert_eq!(pattern.edges.len(), 1);
+        let (parent, children) = &pattern.edges[0];
+        assert_eq!(*parent, PatternId::from_u128(2));
+        assert_eq!(children.len(), 2);
+        assert!(pattern.node_count() >= 3);
+    }
+
+    #[test]
+    fn same_shape_same_pattern() {
+        let parser = TraceParser::new();
+        let (a, ma) = sub_trace(1, &[(1, 0), (2, 1), (3, 1)]);
+        let (b, mb) = sub_trace(2, &[(1, 0), (2, 1), (3, 1)]);
+        assert_eq!(parser.encode(&a, &ma), parser.encode(&b, &mb));
+    }
+
+    #[test]
+    fn different_shape_different_pattern() {
+        let parser = TraceParser::new();
+        let (a, ma) = sub_trace(1, &[(1, 0), (2, 1), (3, 1)]);
+        let (b, mb) = sub_trace(2, &[(1, 0), (2, 1), (3, 2)]);
+        assert_ne!(parser.encode(&a, &ma), parser.encode(&b, &mb));
+    }
+
+    #[test]
+    fn library_aggregates_matches() {
+        let parser = TraceParser::new();
+        let mut library = default_library();
+        for trace in 1..=10u128 {
+            let (sub, mapping) = sub_trace(trace, &[(1, 0), (2, 1), (3, 1)]);
+            let outcome = library.observe(parser.encode(&sub, &mapping), TraceId::from_u128(trace));
+            assert_eq!(outcome.is_new_pattern, trace == 1);
+            assert_eq!(outcome.match_count, trace as u64);
+        }
+        assert_eq!(library.len(), 1);
+        assert_eq!(library.total_matches(), 10);
+        assert_eq!(library.match_count(PatternId::from_u128(1)), 10);
+        assert_eq!(library.match_count(PatternId::from_u128(9)), 0);
+    }
+
+    #[test]
+    fn bloom_flushes_when_full() {
+        let mut config = MintConfig::default();
+        config.bloom_buffer_bytes = 64; // tiny filter so it fills quickly
+        let parser = TraceParser::new();
+        let mut library = TopoPatternLibrary::new(&config);
+        let mut flushed = 0;
+        for trace in 1..=2_000u128 {
+            let (sub, mapping) = sub_trace(trace, &[(1, 0), (2, 1)]);
+            let outcome = library.observe(parser.encode(&sub, &mapping), TraceId::from_u128(trace));
+            if outcome.flushed_bloom.is_some() {
+                flushed += 1;
+            }
+        }
+        assert!(flushed > 0);
+        assert_eq!(library.flushed_blooms(), flushed);
+    }
+
+    #[test]
+    fn drain_partial_blooms_returns_remaining_metadata() {
+        let parser = TraceParser::new();
+        let mut library = default_library();
+        let (sub, mapping) = sub_trace(7, &[(1, 0)]);
+        library.observe(parser.encode(&sub, &mapping), TraceId::from_u128(7));
+        let drained = library.drain_partial_blooms();
+        assert_eq!(drained.len(), 1);
+        assert!(drained[0].1.contains(&7u128));
+        // Second drain has nothing.
+        assert!(library.drain_partial_blooms().is_empty());
+    }
+
+    #[test]
+    fn library_lookup_and_sizes() {
+        let parser = TraceParser::new();
+        let mut library = default_library();
+        let (sub, mapping) = sub_trace(1, &[(1, 0), (2, 1)]);
+        let outcome = library.observe(parser.encode(&sub, &mapping), TraceId::from_u128(1));
+        assert!(library.get(outcome.topo_id).is_some());
+        assert!(library.get(PatternId::from_u128(50)).is_none());
+        assert!(library.stored_size() > 0);
+        assert!(!library.is_empty());
+        assert_eq!(library.iter().count(), 1);
+    }
+
+    #[test]
+    fn missing_pattern_mapping_skips_span() {
+        let parser = TraceParser::new();
+        let (sub, mut mapping) = sub_trace(1, &[(1, 0), (2, 1)]);
+        mapping.remove(&SpanId::from_u64(2));
+        let pattern = parser.encode(&sub, &mapping);
+        assert_eq!(pattern.node_count(), 1);
+        assert!(pattern.edges.is_empty());
+    }
+}

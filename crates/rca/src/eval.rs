@@ -1,0 +1,119 @@
+//! Scoring of RCA results against injected-fault ground truth.
+
+use crate::Ranking;
+use serde::{Deserialize, Serialize};
+
+/// One evaluated fault case: the injected root cause and the ranking an RCA
+/// method produced from a framework's retained traces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RcaCase {
+    /// The ground-truth root-cause service.
+    pub ground_truth: String,
+    /// The ranking produced by the method.
+    pub ranking: Ranking,
+}
+
+impl RcaCase {
+    /// Whether the ground truth appears within the top `k` entries.
+    pub fn hit_at(&self, k: usize) -> bool {
+        self.ranking
+            .iter()
+            .take(k)
+            .any(|(service, _)| service == &self.ground_truth)
+    }
+
+    /// The rank (1-based) of the ground truth, if present at all.
+    pub fn rank_of_truth(&self) -> Option<usize> {
+        self.ranking
+            .iter()
+            .position(|(service, _)| service == &self.ground_truth)
+            .map(|p| p + 1)
+    }
+}
+
+/// Top-k accuracy (`A@k`) over a set of cases.
+pub fn top_k_accuracy(cases: &[RcaCase], k: usize) -> f64 {
+    if cases.is_empty() {
+        return 0.0;
+    }
+    cases.iter().filter(|c| c.hit_at(k)).count() as f64 / cases.len() as f64
+}
+
+/// Aggregated evaluation of one (tracing framework, RCA method) combination,
+/// one cell of Table 3.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RcaEvaluation {
+    /// The tracing framework that supplied the trace data.
+    pub framework: String,
+    /// The RCA method that produced the rankings.
+    pub method: String,
+    /// The evaluated fault cases.
+    pub cases: Vec<RcaCase>,
+}
+
+impl RcaEvaluation {
+    /// Top-1 accuracy (the paper's A@1 metric).
+    pub fn a_at_1(&self) -> f64 {
+        top_k_accuracy(&self.cases, 1)
+    }
+
+    /// Top-3 accuracy.
+    pub fn a_at_3(&self) -> f64 {
+        top_k_accuracy(&self.cases, 3)
+    }
+
+    /// Number of evaluated cases.
+    pub fn case_count(&self) -> usize {
+        self.cases.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn case(truth: &str, ranking: &[&str]) -> RcaCase {
+        RcaCase {
+            ground_truth: truth.to_owned(),
+            ranking: ranking
+                .iter()
+                .enumerate()
+                .map(|(i, s)| ((*s).to_owned(), 1.0 - i as f64 * 0.1))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn hit_at_and_rank() {
+        let c = case("db", &["cache", "db", "front"]);
+        assert!(!c.hit_at(1));
+        assert!(c.hit_at(2));
+        assert_eq!(c.rank_of_truth(), Some(2));
+        assert_eq!(case("gone", &["a"]).rank_of_truth(), None);
+    }
+
+    #[test]
+    fn accuracy_over_cases() {
+        let cases = vec![
+            case("db", &["db", "cache"]),
+            case("cache", &["db", "cache"]),
+            case("front", &["front"]),
+            case("pay", &["db"]),
+        ];
+        assert!((top_k_accuracy(&cases, 1) - 0.5).abs() < 1e-12);
+        assert!((top_k_accuracy(&cases, 2) - 0.75).abs() < 1e-12);
+        assert_eq!(top_k_accuracy(&[], 1), 0.0);
+    }
+
+    #[test]
+    fn evaluation_aggregates() {
+        let eval = RcaEvaluation {
+            framework: "Mint".into(),
+            method: "MicroRank".into(),
+            cases: vec![case("db", &["db"]), case("x", &["y", "z", "x"])],
+        };
+        assert!((eval.a_at_1() - 0.5).abs() < 1e-12);
+        assert!((eval.a_at_3() - 1.0).abs() < 1e-12);
+        assert_eq!(eval.case_count(), 2);
+    }
+}

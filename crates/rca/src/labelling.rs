@@ -1,0 +1,124 @@
+//! Anomaly labelling of trace views.
+//!
+//! RCA methods need to know which retained traces are anomalous.  In the
+//! paper's setup anomalies are injected faults; detection is done the way
+//! production pipelines do it: a trace is anomalous if it recorded an error
+//! or its end-to-end latency is an outlier relative to traces of the same
+//! entry operation.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use trace_model::TraceView;
+
+/// A trace view plus its anomaly label.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabelledTrace {
+    /// The underlying view.
+    pub view: TraceView,
+    /// Whether the trace is considered anomalous.
+    pub anomalous: bool,
+}
+
+impl LabelledTrace {
+    /// The services this trace passed through.
+    pub fn services(&self) -> Vec<&str> {
+        self.view.services()
+    }
+}
+
+/// The latency threshold multiplier over the per-entry-operation median above
+/// which a trace is considered a latency anomaly.
+const LATENCY_FACTOR: f64 = 3.0;
+
+/// Labels each view as anomalous or normal.
+///
+/// A trace is anomalous when it contains an error span, or when its
+/// end-to-end duration exceeds [`LATENCY_FACTOR`] times the median duration
+/// of traces sharing the same entry operation (the first span's
+/// service/operation pair).
+pub fn label_anomalous(views: &[TraceView]) -> Vec<LabelledTrace> {
+    // Median duration per entry operation.
+    let mut durations: HashMap<String, Vec<u64>> = HashMap::new();
+    for view in views {
+        durations
+            .entry(entry_key(view))
+            .or_default()
+            .push(view.duration_us);
+    }
+    let medians: HashMap<String, f64> = durations
+        .into_iter()
+        .map(|(key, mut values)| {
+            values.sort_unstable();
+            let median = values[values.len() / 2] as f64;
+            (key, median.max(1.0))
+        })
+        .collect();
+
+    views
+        .iter()
+        .map(|view| {
+            let median = medians.get(&entry_key(view)).copied().unwrap_or(1.0);
+            let anomalous =
+                view.has_error() || view.duration_us as f64 > median * LATENCY_FACTOR;
+            LabelledTrace {
+                view: view.clone(),
+                anomalous,
+            }
+        })
+        .collect()
+}
+
+fn entry_key(view: &TraceView) -> String {
+    view.spans
+        .first()
+        .map(|s| format!("{}::{}", s.service, s.operation))
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trace_model::{SpanView, TraceId};
+
+    fn view(id: u128, duration: u64, error: bool) -> TraceView {
+        TraceView {
+            trace_id: TraceId::from_u128(id),
+            exact: true,
+            duration_us: duration,
+            spans: vec![SpanView {
+                service: "front".into(),
+                operation: "GET /".into(),
+                duration_us: duration,
+                is_error: error,
+            }],
+        }
+    }
+
+    #[test]
+    fn errors_are_anomalous() {
+        let views = vec![view(1, 100, false), view(2, 100, true)];
+        let labelled = label_anomalous(&views);
+        assert!(!labelled[0].anomalous);
+        assert!(labelled[1].anomalous);
+    }
+
+    #[test]
+    fn latency_outliers_are_anomalous() {
+        let mut views: Vec<TraceView> = (0..20).map(|i| view(i, 1_000, false)).collect();
+        views.push(view(99, 50_000, false));
+        let labelled = label_anomalous(&views);
+        assert!(labelled.last().unwrap().anomalous);
+        assert_eq!(labelled.iter().filter(|l| l.anomalous).count(), 1);
+    }
+
+    #[test]
+    fn services_are_exposed() {
+        let labelled = label_anomalous(&[view(1, 10, false)]);
+        assert_eq!(labelled[0].services(), vec!["front"]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        assert!(label_anomalous(&[]).is_empty());
+    }
+}

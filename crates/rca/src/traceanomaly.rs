@@ -1,0 +1,160 @@
+//! TraceAnomaly-style normal-template deviation.
+
+use crate::labelling::LabelledTrace;
+use crate::{sorted_ranking, Ranking, RcaMethod};
+use std::collections::HashMap;
+
+/// Normal-template deviation ranking.
+///
+/// TraceAnomaly learns the distribution of normal behaviour and flags
+/// deviations from it.  This implementation keeps the part that matters for
+/// root-cause ranking: per-service latency statistics (mean and standard
+/// deviation) are estimated from *normal* traces, and each service is scored
+/// by the average z-score of its spans within anomalous traces.  Without
+/// enough normal traces the templates are unreliable and the ranking
+/// degrades, mirroring the behaviour reported in the paper.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TraceAnomaly;
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Stats {
+    count: f64,
+    sum: f64,
+    sum_sq: f64,
+}
+
+impl Stats {
+    fn push(&mut self, value: f64) {
+        self.count += 1.0;
+        self.sum += value;
+        self.sum_sq += value * value;
+    }
+
+    fn mean(&self) -> f64 {
+        if self.count > 0.0 {
+            self.sum / self.count
+        } else {
+            0.0
+        }
+    }
+
+    fn std(&self) -> f64 {
+        if self.count < 2.0 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        ((self.sum_sq / self.count) - mean * mean).max(0.0).sqrt()
+    }
+}
+
+impl RcaMethod for TraceAnomaly {
+    fn name(&self) -> &'static str {
+        "TraceAnomaly"
+    }
+
+    fn rank(&self, traces: &[LabelledTrace]) -> Ranking {
+        // Normal templates: per-service latency statistics from normal traces.
+        let mut templates: HashMap<&str, Stats> = HashMap::new();
+        for trace in traces.iter().filter(|t| !t.anomalous) {
+            for span in &trace.view.spans {
+                templates
+                    .entry(span.service.as_str())
+                    .or_default()
+                    .push(span.duration_us as f64);
+            }
+        }
+
+        // Score services by how far anomalous spans deviate from the normal
+        // template, measured as a latency ratio (robust to the template's
+        // variance being underestimated when the normal traces are
+        // approximate), plus a bonus for explicit errors.
+        let mut scores: HashMap<String, f64> = HashMap::new();
+        let mut counts: HashMap<String, f64> = HashMap::new();
+        for trace in traces.iter().filter(|t| t.anomalous) {
+            for span in &trace.view.spans {
+                let deviation = match templates.get(span.service.as_str()) {
+                    Some(stats) if stats.count >= 3.0 => {
+                        let baseline = stats.mean().max(stats.std()).max(1.0);
+                        (span.duration_us as f64 / baseline - 1.5).max(0.0)
+                    }
+                    // No reliable template: weak, uninformative evidence.
+                    _ => 0.1,
+                };
+                let error_bonus = if span.is_error { 5.0 } else { 0.0 };
+                *scores.entry(span.service.clone()).or_insert(0.0) += deviation + error_bonus;
+                *counts.entry(span.service.clone()).or_insert(0.0) += 1.0;
+            }
+        }
+        let averaged: HashMap<String, f64> = scores
+            .into_iter()
+            .map(|(service, total)| {
+                let count = counts.get(&service).copied().unwrap_or(1.0);
+                (service, total / count)
+            })
+            .collect();
+        sorted_ranking(averaged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label_anomalous;
+    use trace_model::{SpanView, TraceId, TraceView};
+
+    fn view(id: u128, slow_service: Option<&str>, error: bool) -> TraceView {
+        let services = ["edge", "search", "ranking"];
+        let spans: Vec<SpanView> = services
+            .iter()
+            .map(|s| SpanView {
+                service: (*s).to_owned(),
+                operation: format!("{s}-op"),
+                duration_us: if Some(*s) == slow_service { 90_000 } else { 1_200 },
+                is_error: error && Some(*s) == slow_service,
+            })
+            .collect();
+        TraceView {
+            trace_id: TraceId::from_u128(id),
+            exact: true,
+            duration_us: spans.iter().map(|s| s.duration_us).sum(),
+            spans,
+        }
+    }
+
+    #[test]
+    fn deviating_service_ranks_first() {
+        let mut views: Vec<TraceView> = (0..60u128).map(|i| view(i, None, false)).collect();
+        views.extend((0..8u128).map(|i| view(900 + i, Some("search"), false)));
+        let labelled = label_anomalous(&views);
+        let ranking = TraceAnomaly.rank(&labelled);
+        assert_eq!(ranking[0].0, "search", "{ranking:?}");
+    }
+
+    #[test]
+    fn errors_boost_the_culprit() {
+        let mut views: Vec<TraceView> = (0..40u128).map(|i| view(i, None, false)).collect();
+        views.extend((0..5u128).map(|i| view(900 + i, Some("ranking"), true)));
+        let labelled = label_anomalous(&views);
+        let ranking = TraceAnomaly.rank(&labelled);
+        assert_eq!(ranking[0].0, "ranking", "{ranking:?}");
+    }
+
+    #[test]
+    fn without_normal_templates_scores_collapse() {
+        let views: Vec<TraceView> = (0..10u128).map(|i| view(i, Some("search"), false)).collect();
+        let labelled = label_anomalous(&views);
+        let ranking = TraceAnomaly.rank(&labelled);
+        // Every anomalous span gets the same weak evidence, so the culprit is
+        // not reliably separated from the rest.
+        if !ranking.is_empty() {
+            let top = ranking[0].1;
+            let tied = ranking.iter().filter(|(_, s)| (s - top).abs() < 1e-9).count();
+            assert!(tied >= 2 || top < 1.0, "{ranking:?}");
+        }
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(TraceAnomaly.name(), "TraceAnomaly");
+    }
+}

@@ -1,0 +1,135 @@
+//! TraceRCA-style association mining.
+
+use crate::labelling::LabelledTrace;
+use crate::{sorted_ranking, Ranking, RcaMethod};
+use std::collections::HashMap;
+
+/// Association-rule root-cause ranking.
+///
+/// TraceRCA mines rules of the form "the trace passes through service S and S
+/// misbehaves ⇒ the trace is anomalous" and ranks services by a combination
+/// of the rule's *support* (how many anomalous traces exhibit it) and
+/// *confidence* (how often the rule holds when S misbehaves).  A service
+/// misbehaves within a trace when it reports an error or its span is slow
+/// relative to that service's typical latency in the provided data.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceRca {
+    /// Multiplier over the per-service mean duration above which a span is
+    /// considered slow.
+    pub slow_factor: f64,
+}
+
+impl Default for TraceRca {
+    fn default() -> Self {
+        TraceRca { slow_factor: 2.0 }
+    }
+}
+
+impl RcaMethod for TraceRca {
+    fn name(&self) -> &'static str {
+        "TraceRCA"
+    }
+
+    fn rank(&self, traces: &[LabelledTrace]) -> Ranking {
+        // Mean span duration per service over all retained traces.
+        let mut sums: HashMap<&str, (f64, f64)> = HashMap::new();
+        for trace in traces {
+            for span in &trace.view.spans {
+                let entry = sums.entry(span.service.as_str()).or_insert((0.0, 0.0));
+                entry.0 += span.duration_us as f64;
+                entry.1 += 1.0;
+            }
+        }
+        let means: HashMap<&str, f64> = sums
+            .into_iter()
+            .map(|(svc, (sum, count))| (svc, sum / count.max(1.0)))
+            .collect();
+
+        let total_anomalous = traces.iter().filter(|t| t.anomalous).count() as f64;
+        // Per service: (misbehaving occurrences in anomalous traces,
+        //               misbehaving occurrences in all traces).
+        let mut misbehaving_in_anomalous: HashMap<String, f64> = HashMap::new();
+        let mut misbehaving_total: HashMap<String, f64> = HashMap::new();
+        for trace in traces {
+            for span in &trace.view.spans {
+                let mean = means.get(span.service.as_str()).copied().unwrap_or(1.0).max(1.0);
+                let ratio = span.duration_us as f64 / mean;
+                let misbehaving = span.is_error || ratio > self.slow_factor;
+                if !misbehaving {
+                    continue;
+                }
+                // Evidence is proportional to how badly the span misbehaves,
+                // so the root cause outweighs callers that merely inherit its
+                // latency.
+                let weight = if span.is_error { 10.0 } else { ratio.clamp(1.0, 10.0) };
+                *misbehaving_total.entry(span.service.clone()).or_insert(0.0) += weight;
+                if trace.anomalous {
+                    *misbehaving_in_anomalous
+                        .entry(span.service.clone())
+                        .or_insert(0.0) += weight;
+                }
+            }
+        }
+
+        let mut scores = HashMap::new();
+        for (service, in_anomalous) in &misbehaving_in_anomalous {
+            let total = misbehaving_total.get(service).copied().unwrap_or(1.0);
+            let support = if total_anomalous > 0.0 {
+                in_anomalous / total_anomalous
+            } else {
+                0.0
+            };
+            let confidence = in_anomalous / total.max(1.0);
+            scores.insert(service.clone(), support * confidence);
+        }
+        sorted_ranking(scores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label_anomalous;
+    use trace_model::{SpanView, TraceId, TraceView};
+
+    fn view(id: u128, slow_service: Option<&str>) -> TraceView {
+        let services = ["gateway", "orders", "inventory"];
+        let spans: Vec<SpanView> = services
+            .iter()
+            .map(|s| SpanView {
+                service: (*s).to_owned(),
+                operation: format!("{s}-op"),
+                duration_us: if Some(*s) == slow_service { 60_000 } else { 900 },
+                is_error: false,
+            })
+            .collect();
+        TraceView {
+            trace_id: TraceId::from_u128(id),
+            exact: true,
+            duration_us: spans.iter().map(|s| s.duration_us).sum(),
+            spans,
+        }
+    }
+
+    #[test]
+    fn slow_service_ranks_first() {
+        let mut views: Vec<TraceView> = (0..80u128).map(|i| view(i, None)).collect();
+        views.extend((0..10u128).map(|i| view(500 + i, Some("inventory"))));
+        let labelled = label_anomalous(&views);
+        let ranking = TraceRca::default().rank(&labelled);
+        assert_eq!(ranking[0].0, "inventory", "{ranking:?}");
+    }
+
+    #[test]
+    fn no_anomalies_yields_empty_ranking() {
+        let views: Vec<TraceView> = (0..20u128).map(|i| view(i, None)).collect();
+        let labelled = label_anomalous(&views);
+        let ranking = TraceRca::default().rank(&labelled);
+        assert!(ranking.is_empty() || ranking[0].1 <= 0.3);
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(TraceRca::default().name(), "TraceRCA");
+    }
+}

@@ -1,0 +1,201 @@
+//! Ordered attribute collections.
+
+use crate::size::WireSize;
+use crate::value::AttrValue;
+use serde::{Deserialize, Serialize};
+
+/// An attribute key.  Keys are interned as plain strings; the set of distinct
+/// keys in a system is small (a few hundred), so cloning costs are negligible
+/// relative to values.
+pub type AttrKey = String;
+
+/// An insertion-ordered collection of `key -> value` attributes on a span.
+///
+/// Order is preserved because Mint's span-pattern identity is the *set* of
+/// attribute patterns that appear together; keeping a stable order makes
+/// pattern construction deterministic.
+///
+/// ```
+/// use trace_model::{Attributes, AttrValue};
+/// let mut attrs = Attributes::new();
+/// attrs.insert("http.method", AttrValue::str("POST"));
+/// attrs.insert("http.status_code", AttrValue::Int(200));
+/// assert_eq!(attrs.len(), 2);
+/// assert_eq!(attrs.get("http.method").and_then(|v| v.as_str()), Some("POST"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Attributes {
+    entries: Vec<(AttrKey, AttrValue)>,
+}
+
+impl Attributes {
+    /// Creates an empty attribute collection.
+    pub fn new() -> Self {
+        Attributes {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Creates an empty collection with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Attributes {
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Inserts or replaces the value stored under `key`.
+    ///
+    /// Returns the previous value if the key was already present.
+    pub fn insert(&mut self, key: impl Into<AttrKey>, value: impl Into<AttrValue>) -> Option<AttrValue> {
+        let key = key.into();
+        let value = value.into();
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            Some(std::mem::replace(&mut slot.1, value))
+        } else {
+            self.entries.push((key, value));
+            None
+        }
+    }
+
+    /// Returns the value stored under `key`, if any.
+    pub fn get(&self, key: &str) -> Option<&AttrValue> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Removes and returns the value stored under `key`.
+    pub fn remove(&mut self, key: &str) -> Option<AttrValue> {
+        let idx = self.entries.iter().position(|(k, _)| k == key)?;
+        Some(self.entries.remove(idx).1)
+    }
+
+    /// Returns `true` if `key` is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the collection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(key, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &AttrValue)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Iterates over attribute keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(k, _)| k.as_str())
+    }
+
+    /// Iterates over attribute values in insertion order.
+    pub fn values(&self) -> impl Iterator<Item = &AttrValue> {
+        self.entries.iter().map(|(_, v)| v)
+    }
+}
+
+impl FromIterator<(AttrKey, AttrValue)> for Attributes {
+    fn from_iter<T: IntoIterator<Item = (AttrKey, AttrValue)>>(iter: T) -> Self {
+        let mut attrs = Attributes::new();
+        for (k, v) in iter {
+            attrs.insert(k, v);
+        }
+        attrs
+    }
+}
+
+impl Extend<(AttrKey, AttrValue)> for Attributes {
+    fn extend<T: IntoIterator<Item = (AttrKey, AttrValue)>>(&mut self, iter: T) {
+        for (k, v) in iter {
+            self.insert(k, v);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Attributes {
+    type Item = (&'a str, &'a AttrValue);
+    type IntoIter = Box<dyn Iterator<Item = (&'a str, &'a AttrValue)> + 'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.entries.iter().map(|(k, v)| (k.as_str(), v)))
+    }
+}
+
+impl WireSize for Attributes {
+    fn wire_size(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|(k, v)| 2 + k.len() + v.wire_size())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_get() {
+        let mut attrs = Attributes::new();
+        assert!(attrs.insert("a", AttrValue::Int(1)).is_none());
+        assert_eq!(attrs.get("a"), Some(&AttrValue::Int(1)));
+        assert_eq!(attrs.insert("a", AttrValue::Int(2)), Some(AttrValue::Int(1)));
+        assert_eq!(attrs.get("a"), Some(&AttrValue::Int(2)));
+        assert_eq!(attrs.len(), 1);
+    }
+
+    #[test]
+    fn preserves_insertion_order() {
+        let mut attrs = Attributes::new();
+        attrs.insert("z", AttrValue::Int(1));
+        attrs.insert("a", AttrValue::Int(2));
+        attrs.insert("m", AttrValue::Int(3));
+        let keys: Vec<&str> = attrs.keys().collect();
+        assert_eq!(keys, vec!["z", "a", "m"]);
+    }
+
+    #[test]
+    fn remove_works() {
+        let mut attrs = Attributes::new();
+        attrs.insert("a", AttrValue::Bool(true));
+        assert_eq!(attrs.remove("a"), Some(AttrValue::Bool(true)));
+        assert!(attrs.is_empty());
+        assert_eq!(attrs.remove("a"), None);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut attrs: Attributes = vec![("a".to_string(), AttrValue::Int(1))]
+            .into_iter()
+            .collect();
+        attrs.extend(vec![("b".to_string(), AttrValue::Int(2))]);
+        assert_eq!(attrs.len(), 2);
+        assert!(attrs.contains_key("b"));
+    }
+
+    #[test]
+    fn wire_size_sums_entries() {
+        let mut attrs = Attributes::new();
+        attrs.insert("key", AttrValue::str("value"));
+        // 2 + 3 (key) + 1 + 2 + 5 (value) = 13
+        assert_eq!(attrs.wire_size(), 13);
+    }
+
+    #[test]
+    fn iteration_yields_pairs() {
+        let mut attrs = Attributes::new();
+        attrs.insert("a", AttrValue::Int(1));
+        attrs.insert("b", AttrValue::Int(2));
+        let collected: Vec<(&str, &AttrValue)> = (&attrs).into_iter().collect();
+        assert_eq!(collected.len(), 2);
+        assert_eq!(collected[0].0, "a");
+    }
+}

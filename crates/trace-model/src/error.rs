@@ -1,0 +1,82 @@
+//! Error type for trace-model operations.
+
+use crate::{SpanId, TraceId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when assembling traces from spans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A span referenced a parent id that is not part of the trace.
+    MissingParent {
+        /// The trace being assembled.
+        trace_id: TraceId,
+        /// The span whose parent is missing.
+        span_id: SpanId,
+        /// The referenced (missing) parent id.
+        parent_id: SpanId,
+    },
+    /// Two spans in one trace share the same span id.
+    DuplicateSpanId {
+        /// The trace being assembled.
+        trace_id: TraceId,
+        /// The duplicated span id.
+        span_id: SpanId,
+    },
+    /// A span carried a different trace id than the trace it was added to.
+    TraceIdMismatch {
+        /// The id of the trace being assembled.
+        expected: TraceId,
+        /// The id carried by the offending span.
+        found: TraceId,
+    },
+    /// The trace contains no spans.
+    EmptyTrace,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::MissingParent {
+                trace_id,
+                span_id,
+                parent_id,
+            } => write!(
+                f,
+                "span {span_id} in trace {trace_id} references missing parent {parent_id}"
+            ),
+            ModelError::DuplicateSpanId { trace_id, span_id } => {
+                write!(f, "duplicate span id {span_id} in trace {trace_id}")
+            }
+            ModelError::TraceIdMismatch { expected, found } => {
+                write!(f, "span trace id {found} does not match trace {expected}")
+            }
+            ModelError::EmptyTrace => write!(f, "trace contains no spans"),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_ids() {
+        let err = ModelError::DuplicateSpanId {
+            trace_id: TraceId::from_u128(1),
+            span_id: SpanId::from_u64(2),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("duplicate"));
+        assert!(msg.contains("0000000000000002"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

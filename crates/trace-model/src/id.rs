@@ -1,0 +1,200 @@
+//! Identifier newtypes for traces, spans and patterns.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A 128-bit globally unique trace identifier.
+///
+/// Trace ids are created at request ingress and propagated to every span the
+/// request produces, mirroring the W3C / OpenTelemetry convention.
+///
+/// ```
+/// use trace_model::TraceId;
+/// let id = TraceId::from_u128(0xae61);
+/// assert_eq!(id.as_u128(), 0xae61);
+/// assert_eq!(format!("{id}"), "0000000000000000000000000000ae61");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TraceId(u128);
+
+impl TraceId {
+    /// The all-zero id, used as a sentinel for "no trace".
+    pub const INVALID: TraceId = TraceId(0);
+
+    /// Creates a trace id from a raw 128-bit value.
+    pub const fn from_u128(value: u128) -> Self {
+        TraceId(value)
+    }
+
+    /// Returns the raw 128-bit value.
+    pub const fn as_u128(&self) -> u128 {
+        self.0
+    }
+
+    /// Returns the id as 16 big-endian bytes (the OTLP wire representation).
+    pub fn to_bytes(&self) -> [u8; 16] {
+        self.0.to_be_bytes()
+    }
+
+    /// Reconstructs a trace id from 16 big-endian bytes.
+    pub fn from_bytes(bytes: [u8; 16]) -> Self {
+        TraceId(u128::from_be_bytes(bytes))
+    }
+
+    /// Whether this is the invalid (all-zero) id.
+    pub const fn is_valid(&self) -> bool {
+        self.0 != 0
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+impl From<u128> for TraceId {
+    fn from(value: u128) -> Self {
+        TraceId(value)
+    }
+}
+
+/// A 64-bit span identifier, unique within a trace.
+///
+/// ```
+/// use trace_model::SpanId;
+/// let id = SpanId::from_u64(0x5b7c5);
+/// assert_eq!(id.as_u64(), 0x5b7c5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SpanId(u64);
+
+impl SpanId {
+    /// The all-zero id, used for "no parent" (root spans).
+    pub const INVALID: SpanId = SpanId(0);
+
+    /// Creates a span id from a raw 64-bit value.
+    pub const fn from_u64(value: u64) -> Self {
+        SpanId(value)
+    }
+
+    /// Returns the raw 64-bit value.
+    pub const fn as_u64(&self) -> u64 {
+        self.0
+    }
+
+    /// Returns the id as 8 big-endian bytes.
+    pub fn to_bytes(&self) -> [u8; 8] {
+        self.0.to_be_bytes()
+    }
+
+    /// Whether this is a valid (non-zero) span id.
+    pub const fn is_valid(&self) -> bool {
+        self.0 != 0
+    }
+}
+
+impl fmt::Display for SpanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+impl From<u64> for SpanId {
+    fn from(value: u64) -> Self {
+        SpanId(value)
+    }
+}
+
+/// Identifier of a span pattern or topology pattern in Mint's pattern
+/// libraries.
+///
+/// The paper generates a UUID per pattern; we keep a 128-bit value with a
+/// deterministic counter-based constructor so experiments are reproducible.
+///
+/// ```
+/// use trace_model::PatternId;
+/// let a = PatternId::from_u128(1);
+/// let b = PatternId::from_u128(2);
+/// assert_ne!(a, b);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PatternId(u128);
+
+impl PatternId {
+    /// Creates a pattern id from a raw 128-bit value.
+    pub const fn from_u128(value: u128) -> Self {
+        PatternId(value)
+    }
+
+    /// Returns the raw 128-bit value.
+    pub const fn as_u128(&self) -> u128 {
+        self.0
+    }
+}
+
+impl fmt::Display for PatternId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{:x}", self.0)
+    }
+}
+
+impl From<u128> for PatternId {
+    fn from(value: u128) -> Self {
+        PatternId(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn trace_id_roundtrip_bytes() {
+        let id = TraceId::from_u128(0xdead_beef_cafe_babe_0123_4567_89ab_cdef);
+        assert_eq!(TraceId::from_bytes(id.to_bytes()), id);
+    }
+
+    #[test]
+    fn trace_id_display_is_32_hex_chars() {
+        let id = TraceId::from_u128(0xae61);
+        let s = id.to_string();
+        assert_eq!(s.len(), 32);
+        assert!(s.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn invalid_ids_are_not_valid() {
+        assert!(!TraceId::INVALID.is_valid());
+        assert!(!SpanId::INVALID.is_valid());
+        assert!(TraceId::from_u128(1).is_valid());
+        assert!(SpanId::from_u64(1).is_valid());
+    }
+
+    #[test]
+    fn span_id_display_is_16_hex_chars() {
+        assert_eq!(SpanId::from_u64(0x5b7c5).to_string().len(), 16);
+    }
+
+    #[test]
+    fn ids_are_hashable_and_distinct() {
+        let set: HashSet<TraceId> = (0..100u128).map(TraceId::from_u128).collect();
+        assert_eq!(set.len(), 100);
+    }
+
+    #[test]
+    fn pattern_id_display_has_prefix() {
+        assert_eq!(PatternId::from_u128(0xff).to_string(), "Pff");
+    }
+
+    #[test]
+    fn from_impls_work() {
+        let t: TraceId = 7u128.into();
+        let s: SpanId = 9u64.into();
+        let p: PatternId = 11u128.into();
+        assert_eq!(t.as_u128(), 7);
+        assert_eq!(s.as_u64(), 9);
+        assert_eq!(p.as_u128(), 11);
+    }
+}

@@ -1,0 +1,57 @@
+//! The deterministic wire-size model.
+
+/// Types that can report the number of bytes they would occupy when encoded
+/// with an OTLP/protobuf-style wire format.
+///
+/// The Mint paper reports network and storage overhead in bytes measured from
+/// a real OpenTelemetry/Elasticsearch pipeline.  This reproduction replaces
+/// the pipeline with a deterministic size model so that every tracing
+/// framework under comparison is charged with exactly the same per-span cost.
+/// The model approximates protobuf encoding: fixed-width identifiers,
+/// length-prefixed strings and an envelope constant per message.
+///
+/// ```
+/// use trace_model::{AttrValue, WireSize};
+/// assert_eq!(AttrValue::Bool(true).wire_size(), 2);
+/// ```
+pub trait WireSize {
+    /// Number of bytes this value occupies on the wire.
+    fn wire_size(&self) -> usize;
+}
+
+impl<T: WireSize> WireSize for [T] {
+    fn wire_size(&self) -> usize {
+        self.iter().map(WireSize::wire_size).sum()
+    }
+}
+
+impl<T: WireSize> WireSize for Vec<T> {
+    fn wire_size(&self) -> usize {
+        self.as_slice().wire_size()
+    }
+}
+
+impl<T: WireSize> WireSize for Option<T> {
+    fn wire_size(&self) -> usize {
+        self.as_ref().map(WireSize::wire_size).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::AttrValue;
+
+    #[test]
+    fn slice_sums_elements() {
+        let values = vec![AttrValue::Int(1), AttrValue::Bool(false)];
+        assert_eq!(values.wire_size(), 9 + 2);
+    }
+
+    #[test]
+    fn option_is_zero_when_none() {
+        let none: Option<AttrValue> = None;
+        assert_eq!(none.wire_size(), 0);
+        assert_eq!(Some(AttrValue::Int(1)).wire_size(), 9);
+    }
+}

@@ -1,0 +1,105 @@
+//! Textual rendering of spans and traces.
+//!
+//! The log-style compressors evaluated in Table 4 (LogZip, LogReducer, CLP)
+//! operate on text lines.  To compare them fairly with Mint, every framework
+//! compresses the *same* textual rendering of the trace data, produced by the
+//! functions in this module.  The format is a stable, line-oriented key/value
+//! encoding similar to what an OpenTelemetry console exporter emits.
+
+use crate::span::Span;
+use crate::trace::Trace;
+use std::fmt::Write as _;
+
+/// Renders one span as a single text line.
+///
+/// The line contains the topology part, metadata part and every attribute in
+/// insertion order, so the rendering is lossless with respect to the span's
+/// analytical content.
+///
+/// ```
+/// use trace_model::{render_span_text, Span, SpanId, TraceId, AttrValue};
+/// let span = Span::builder(TraceId::from_u128(1), SpanId::from_u64(2))
+///     .name("get").service("svc").attr("k", AttrValue::Int(3)).build();
+/// let line = render_span_text(&span);
+/// assert!(line.contains("name=get"));
+/// assert!(line.contains("k=3"));
+/// ```
+pub fn render_span_text(span: &Span) -> String {
+    let mut line = String::with_capacity(160 + span.attributes().len() * 24);
+    let _ = write!(
+        line,
+        "trace_id={} span_id={} parent_id={} kind={} service={} name={} start={} duration={} status={}",
+        span.trace_id(),
+        span.span_id(),
+        span.parent_id(),
+        span.kind().label(),
+        span.service(),
+        span.name(),
+        span.start_time_us(),
+        span.duration_us(),
+        if span.status().is_error() { "error" } else { "ok" },
+    );
+    for (key, value) in span.attributes().iter() {
+        let _ = write!(line, " {key}={value}");
+    }
+    line
+}
+
+/// Renders a whole trace as newline-separated span lines.
+pub fn render_trace_text(trace: &Trace) -> String {
+    let mut out = String::new();
+    for span in trace.spans() {
+        out.push_str(&render_span_text(span));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AttrValue, SpanId, TraceId};
+
+    fn sample_trace() -> Trace {
+        let tid = TraceId::from_u128(3);
+        let spans = vec![
+            Span::builder(tid, SpanId::from_u64(1))
+                .name("root")
+                .service("gw")
+                .attr("sql.query", AttrValue::str("select * from A"))
+                .build(),
+            Span::builder(tid, SpanId::from_u64(2))
+                .parent(SpanId::from_u64(1))
+                .name("child")
+                .service("db")
+                .build(),
+        ];
+        Trace::from_spans(tid, spans).unwrap()
+    }
+
+    #[test]
+    fn span_line_contains_all_metadata() {
+        let trace = sample_trace();
+        let line = render_span_text(&trace.spans()[0]);
+        for needle in ["trace_id=", "span_id=", "kind=server", "service=gw", "sql.query=select * from A"] {
+            assert!(line.contains(needle), "missing {needle} in {line}");
+        }
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn trace_rendering_has_one_line_per_span() {
+        let trace = sample_trace();
+        let text = render_trace_text(&trace);
+        assert_eq!(text.lines().count(), 2);
+    }
+
+    #[test]
+    fn error_status_is_rendered() {
+        let tid = TraceId::from_u128(4);
+        let span = Span::builder(tid, SpanId::from_u64(1))
+            .status(crate::SpanStatus::Error)
+            .build();
+        assert!(render_span_text(&span).contains("status=error"));
+    }
+}

@@ -1,0 +1,422 @@
+//! Whole traces assembled from spans.
+
+use crate::error::ModelError;
+use crate::id::{SpanId, TraceId};
+use crate::size::WireSize;
+use crate::span::Span;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// A complete distributed trace: every span produced for one request,
+/// linked into a tree by parent ids.
+///
+/// ```
+/// use trace_model::{Trace, Span, TraceId, SpanId};
+/// let tid = TraceId::from_u128(7);
+/// let root = Span::builder(tid, SpanId::from_u64(1)).name("ingress").service("gw").build();
+/// let child = Span::builder(tid, SpanId::from_u64(2))
+///     .parent(SpanId::from_u64(1)).name("db").service("orders").build();
+/// let trace = Trace::from_spans(tid, vec![root, child]).unwrap();
+/// assert_eq!(trace.len(), 2);
+/// assert_eq!(trace.root().unwrap().name(), "ingress");
+/// assert_eq!(trace.children_of(SpanId::from_u64(1)).len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    trace_id: TraceId,
+    spans: Vec<Span>,
+}
+
+impl Trace {
+    /// Assembles a trace from spans.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::EmptyTrace`] if `spans` is empty,
+    /// [`ModelError::TraceIdMismatch`] if a span carries a different trace id,
+    /// and [`ModelError::DuplicateSpanId`] if two spans share an id.  A
+    /// missing parent is *not* an error here: agents legitimately observe
+    /// partial traces (sub-traces); use [`Trace::is_coherent`] to check
+    /// structural completeness.
+    pub fn from_spans(trace_id: TraceId, spans: Vec<Span>) -> Result<Self, ModelError> {
+        if spans.is_empty() {
+            return Err(ModelError::EmptyTrace);
+        }
+        let mut seen = HashSet::with_capacity(spans.len());
+        for span in &spans {
+            if span.trace_id() != trace_id {
+                return Err(ModelError::TraceIdMismatch {
+                    expected: trace_id,
+                    found: span.trace_id(),
+                });
+            }
+            if !seen.insert(span.span_id()) {
+                return Err(ModelError::DuplicateSpanId {
+                    trace_id,
+                    span_id: span.span_id(),
+                });
+            }
+        }
+        Ok(Trace { trace_id, spans })
+    }
+
+    /// The trace id.
+    pub fn trace_id(&self) -> TraceId {
+        self.trace_id
+    }
+
+    /// Number of spans in the trace.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether the trace has no spans (never true for a constructed trace).
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// All spans, in the order they were provided.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Mutable access to the spans (used by fault injection).
+    pub fn spans_mut(&mut self) -> &mut [Span] {
+        &mut self.spans
+    }
+
+    /// Iterates over the spans.
+    pub fn iter(&self) -> std::slice::Iter<'_, Span> {
+        self.spans.iter()
+    }
+
+    /// The root span (the span with an invalid parent id), if present and
+    /// unique.
+    pub fn root(&self) -> Option<&Span> {
+        let mut roots = self.spans.iter().filter(|s| s.is_root());
+        let first = roots.next()?;
+        if roots.next().is_some() {
+            None
+        } else {
+            Some(first)
+        }
+    }
+
+    /// Looks up a span by id.
+    pub fn span(&self, span_id: SpanId) -> Option<&Span> {
+        self.spans.iter().find(|s| s.span_id() == span_id)
+    }
+
+    /// The direct children of `parent`, ordered by start time.
+    pub fn children_of(&self, parent: SpanId) -> Vec<&Span> {
+        let mut children: Vec<&Span> = self
+            .spans
+            .iter()
+            .filter(|s| s.parent_id() == parent)
+            .collect();
+        children.sort_by_key(|s| (s.start_time_us(), s.span_id()));
+        children
+    }
+
+    /// Whether every non-root span's parent exists within the trace and
+    /// exactly one root exists: the paper's "trace coherence" property.
+    pub fn is_coherent(&self) -> bool {
+        let ids: HashSet<SpanId> = self.spans.iter().map(|s| s.span_id()).collect();
+        let mut root_count = 0;
+        for span in &self.spans {
+            if span.is_root() {
+                root_count += 1;
+            } else if !ids.contains(&span.parent_id()) {
+                return false;
+            }
+        }
+        root_count == 1
+    }
+
+    /// The set of services that appear in this trace.
+    pub fn services(&self) -> HashSet<&str> {
+        self.spans.iter().map(|s| s.service()).collect()
+    }
+
+    /// Total duration of the trace: root duration if a root exists, otherwise
+    /// the span of `[min start, max end]` over all spans.
+    pub fn duration_us(&self) -> u64 {
+        if let Some(root) = self.root() {
+            return root.duration_us();
+        }
+        let start = self.spans.iter().map(|s| s.start_time_us()).min().unwrap_or(0);
+        let end = self.spans.iter().map(|s| s.end_time_us()).max().unwrap_or(0);
+        end.saturating_sub(start)
+    }
+
+    /// Maximum depth of the span tree (root = depth 1).  Spans whose parent
+    /// is missing count as depth 1.
+    pub fn depth(&self) -> usize {
+        let by_id: HashMap<SpanId, &Span> = self.spans.iter().map(|s| (s.span_id(), s)).collect();
+        let mut max_depth = 0;
+        for span in &self.spans {
+            let mut depth = 1;
+            let mut current = span;
+            let mut hops = 0;
+            while current.parent_id().is_valid() && hops < self.spans.len() {
+                match by_id.get(&current.parent_id()) {
+                    Some(parent) => {
+                        depth += 1;
+                        current = parent;
+                        hops += 1;
+                    }
+                    None => break,
+                }
+            }
+            max_depth = max_depth.max(depth);
+        }
+        max_depth
+    }
+
+    /// Whether any span in the trace recorded an error status.
+    pub fn has_error(&self) -> bool {
+        self.spans.iter().any(|s| s.status().is_error())
+    }
+
+    /// Groups spans by service, preserving span order: the view a per-node
+    /// agent has of the trace.  The Mint agent consumes these groups as
+    /// sub-traces.
+    pub fn spans_by_service(&self) -> BTreeMap<&str, Vec<&Span>> {
+        let mut groups: BTreeMap<&str, Vec<&Span>> = BTreeMap::new();
+        for span in &self.spans {
+            groups.entry(span.service()).or_default().push(span);
+        }
+        groups
+    }
+}
+
+impl WireSize for Trace {
+    fn wire_size(&self) -> usize {
+        // Trace-level envelope plus every span.
+        16 + self.spans.wire_size()
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a Span;
+    type IntoIter = std::slice::Iter<'a, Span>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.spans.iter()
+    }
+}
+
+/// A collection of traces, typically the output of one workload run.
+///
+/// Provides bulk statistics used by the experiment harness.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceSet {
+    traces: Vec<Trace>,
+}
+
+impl TraceSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        TraceSet { traces: Vec::new() }
+    }
+
+    /// Adds a trace to the set.
+    pub fn push(&mut self, trace: Trace) {
+        self.traces.push(trace);
+    }
+
+    /// Number of traces.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// The traces in insertion order.
+    pub fn traces(&self) -> &[Trace] {
+        &self.traces
+    }
+
+    /// Iterates over the traces.
+    pub fn iter(&self) -> std::slice::Iter<'_, Trace> {
+        self.traces.iter()
+    }
+
+    /// Total number of spans across all traces.
+    pub fn span_count(&self) -> usize {
+        self.traces.iter().map(Trace::len).sum()
+    }
+
+    /// Total wire size across all traces, in bytes.
+    pub fn total_wire_size(&self) -> usize {
+        self.traces.iter().map(|t| t.wire_size()).sum()
+    }
+
+    /// Looks up a trace by id.
+    pub fn get(&self, trace_id: TraceId) -> Option<&Trace> {
+        self.traces.iter().find(|t| t.trace_id() == trace_id)
+    }
+}
+
+impl FromIterator<Trace> for TraceSet {
+    fn from_iter<T: IntoIterator<Item = Trace>>(iter: T) -> Self {
+        TraceSet {
+            traces: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Trace> for TraceSet {
+    fn extend<T: IntoIterator<Item = Trace>>(&mut self, iter: T) {
+        self.traces.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a TraceSet {
+    type Item = &'a Trace;
+    type IntoIter = std::slice::Iter<'a, Trace>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.traces.iter()
+    }
+}
+
+impl IntoIterator for TraceSet {
+    type Item = Trace;
+    type IntoIter = std::vec::IntoIter<Trace>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.traces.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanStatus;
+
+    fn tid() -> TraceId {
+        TraceId::from_u128(0xabc)
+    }
+
+    fn span(id: u64, parent: u64, service: &str) -> Span {
+        Span::builder(tid(), SpanId::from_u64(id))
+            .parent(SpanId::from_u64(parent))
+            .name(format!("op{id}"))
+            .service(service)
+            .start_time_us(id * 10)
+            .duration_us(100)
+            .build()
+    }
+
+    fn three_span_trace() -> Trace {
+        Trace::from_spans(tid(), vec![span(1, 0, "a"), span(2, 1, "b"), span(3, 1, "c")]).unwrap()
+    }
+
+    #[test]
+    fn from_spans_rejects_empty() {
+        assert_eq!(Trace::from_spans(tid(), vec![]), Err(ModelError::EmptyTrace));
+    }
+
+    #[test]
+    fn from_spans_rejects_mismatched_trace_id() {
+        let other = Span::builder(TraceId::from_u128(99), SpanId::from_u64(1)).build();
+        let err = Trace::from_spans(tid(), vec![other]).unwrap_err();
+        assert!(matches!(err, ModelError::TraceIdMismatch { .. }));
+    }
+
+    #[test]
+    fn from_spans_rejects_duplicate_span_ids() {
+        let err = Trace::from_spans(tid(), vec![span(1, 0, "a"), span(1, 0, "a")]).unwrap_err();
+        assert!(matches!(err, ModelError::DuplicateSpanId { .. }));
+    }
+
+    #[test]
+    fn root_and_children() {
+        let trace = three_span_trace();
+        assert_eq!(trace.root().unwrap().span_id(), SpanId::from_u64(1));
+        let children = trace.children_of(SpanId::from_u64(1));
+        assert_eq!(children.len(), 2);
+        assert_eq!(children[0].span_id(), SpanId::from_u64(2));
+    }
+
+    #[test]
+    fn coherence_detects_missing_parent() {
+        let trace = three_span_trace();
+        assert!(trace.is_coherent());
+        let broken =
+            Trace::from_spans(tid(), vec![span(1, 0, "a"), span(3, 9, "c")]).unwrap();
+        assert!(!broken.is_coherent());
+    }
+
+    #[test]
+    fn coherence_requires_single_root() {
+        let two_roots = Trace::from_spans(tid(), vec![span(1, 0, "a"), span(2, 0, "b")]).unwrap();
+        assert!(!two_roots.is_coherent());
+        assert!(two_roots.root().is_none());
+    }
+
+    #[test]
+    fn depth_counts_levels() {
+        let deep = Trace::from_spans(
+            tid(),
+            vec![span(1, 0, "a"), span(2, 1, "b"), span(3, 2, "c"), span(4, 3, "d")],
+        )
+        .unwrap();
+        assert_eq!(deep.depth(), 4);
+        assert_eq!(three_span_trace().depth(), 2);
+    }
+
+    #[test]
+    fn duration_prefers_root() {
+        let trace = three_span_trace();
+        assert_eq!(trace.duration_us(), 100);
+    }
+
+    #[test]
+    fn services_and_groups() {
+        let trace = three_span_trace();
+        assert_eq!(trace.services().len(), 3);
+        let groups = trace.spans_by_service();
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups["a"].len(), 1);
+    }
+
+    #[test]
+    fn has_error_reflects_span_status() {
+        let mut trace = three_span_trace();
+        assert!(!trace.has_error());
+        trace.spans_mut()[1].set_status(SpanStatus::Error);
+        assert!(trace.has_error());
+    }
+
+    #[test]
+    fn trace_set_statistics() {
+        let mut set = TraceSet::new();
+        set.push(three_span_trace());
+        set.push(three_span_trace());
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.span_count(), 6);
+        assert!(set.total_wire_size() > 0);
+        assert!(set.get(tid()).is_some());
+        assert!(set.get(TraceId::from_u128(0xdead)).is_none());
+    }
+
+    #[test]
+    fn trace_set_collect_and_iterate() {
+        let set: TraceSet = vec![three_span_trace()].into_iter().collect();
+        assert_eq!(set.iter().count(), 1);
+        let count = (&set).into_iter().count();
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn trace_wire_size_exceeds_span_sum_by_envelope() {
+        let trace = three_span_trace();
+        let span_sum: usize = trace.spans().iter().map(|s| s.wire_size()).sum();
+        assert_eq!(trace.wire_size(), span_sum + 16);
+    }
+}

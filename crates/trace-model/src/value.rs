@@ -1,0 +1,199 @@
+//! Attribute values attached to spans.
+
+use crate::size::WireSize;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A value stored under an attribute key on a span.
+///
+/// Mirrors the OpenTelemetry `AnyValue` scalar variants that matter for
+/// trace-compression analysis: strings (SQL statements, URLs, thread names),
+/// integers (status codes, row counts), floats (durations, ratios) and
+/// booleans (flags such as `is_abnormal`).
+///
+/// ```
+/// use trace_model::AttrValue;
+/// let v = AttrValue::str("select * from A");
+/// assert!(v.is_string());
+/// assert_eq!(v.as_str(), Some("select * from A"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AttrValue {
+    /// A UTF-8 string value.
+    Str(String),
+    /// A signed 64-bit integer value.
+    Int(i64),
+    /// A 64-bit floating point value.
+    Float(f64),
+    /// A boolean flag.
+    Bool(bool),
+}
+
+impl AttrValue {
+    /// Convenience constructor for string values.
+    pub fn str(value: impl Into<String>) -> Self {
+        AttrValue::Str(value.into())
+    }
+
+    /// Returns `true` if the value is a string.
+    pub fn is_string(&self) -> bool {
+        matches!(self, AttrValue::Str(_))
+    }
+
+    /// Returns `true` if the value is numeric (integer or float).
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, AttrValue::Int(_) | AttrValue::Float(_))
+    }
+
+    /// Returns the string contents if this is a string value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            AttrValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as an `f64` if it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            AttrValue::Int(i) => Some(*i as f64),
+            AttrValue::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as an `i64` if it is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            AttrValue::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean if this is a boolean value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            AttrValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// A short tag describing the variant, used in textual renderings.
+    pub fn type_tag(&self) -> &'static str {
+        match self {
+            AttrValue::Str(_) => "str",
+            AttrValue::Int(_) => "int",
+            AttrValue::Float(_) => "float",
+            AttrValue::Bool(_) => "bool",
+        }
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Str(s) => f.write_str(s),
+            AttrValue::Int(i) => write!(f, "{i}"),
+            AttrValue::Float(x) => write!(f, "{x}"),
+            AttrValue::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(value: &str) -> Self {
+        AttrValue::Str(value.to_owned())
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(value: String) -> Self {
+        AttrValue::Str(value)
+    }
+}
+
+impl From<i64> for AttrValue {
+    fn from(value: i64) -> Self {
+        AttrValue::Int(value)
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(value: f64) -> Self {
+        AttrValue::Float(value)
+    }
+}
+
+impl From<bool> for AttrValue {
+    fn from(value: bool) -> Self {
+        AttrValue::Bool(value)
+    }
+}
+
+impl WireSize for AttrValue {
+    fn wire_size(&self) -> usize {
+        // One byte of type tag plus the payload, mirroring a protobuf
+        // oneof encoding (varints approximated by fixed widths).
+        1 + match self {
+            AttrValue::Str(s) => 2 + s.len(),
+            AttrValue::Int(_) => 8,
+            AttrValue::Float(_) => 8,
+            AttrValue::Bool(_) => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_match_variants() {
+        assert_eq!(AttrValue::str("x").as_str(), Some("x"));
+        assert_eq!(AttrValue::Int(3).as_i64(), Some(3));
+        assert_eq!(AttrValue::Int(3).as_f64(), Some(3.0));
+        assert_eq!(AttrValue::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(AttrValue::Bool(true).as_bool(), Some(true));
+        assert_eq!(AttrValue::Bool(true).as_f64(), None);
+        assert_eq!(AttrValue::str("x").as_i64(), None);
+    }
+
+    #[test]
+    fn numeric_predicate() {
+        assert!(AttrValue::Int(1).is_numeric());
+        assert!(AttrValue::Float(1.0).is_numeric());
+        assert!(!AttrValue::str("1").is_numeric());
+        assert!(!AttrValue::Bool(false).is_numeric());
+    }
+
+    #[test]
+    fn display_renders_payload() {
+        assert_eq!(AttrValue::str("hello").to_string(), "hello");
+        assert_eq!(AttrValue::Int(-5).to_string(), "-5");
+        assert_eq!(AttrValue::Bool(false).to_string(), "false");
+    }
+
+    #[test]
+    fn wire_size_scales_with_string_length() {
+        let short = AttrValue::str("ab").wire_size();
+        let long = AttrValue::str("abcdefgh").wire_size();
+        assert!(long > short);
+        assert_eq!(long - short, 6);
+    }
+
+    #[test]
+    fn from_conversions() {
+        assert_eq!(AttrValue::from("a"), AttrValue::str("a"));
+        assert_eq!(AttrValue::from(2i64), AttrValue::Int(2));
+        assert_eq!(AttrValue::from(2.0f64), AttrValue::Float(2.0));
+        assert_eq!(AttrValue::from(true), AttrValue::Bool(true));
+    }
+
+    #[test]
+    fn type_tags() {
+        assert_eq!(AttrValue::str("a").type_tag(), "str");
+        assert_eq!(AttrValue::Int(1).type_tag(), "int");
+        assert_eq!(AttrValue::Float(1.0).type_tag(), "float");
+        assert_eq!(AttrValue::Bool(true).type_tag(), "bool");
+    }
+}

@@ -1,0 +1,106 @@
+//! Flattened analysis views of trace data.
+//!
+//! Downstream consumers (root-cause analysis, batch analytics) rarely need
+//! the full span tree; they operate on per-trace lists of
+//! `(service, operation, duration, error)` observations.  [`TraceView`] is
+//! that flattened form.  Tracing frameworks that retain only approximate
+//! information (e.g. Mint's unsampled traces) can still produce a view with
+//! estimated durations, which is exactly what makes them useful to
+//! spectrum-analysis RCA methods.
+
+use crate::span::Span;
+use crate::trace::Trace;
+use crate::TraceId;
+use serde::{Deserialize, Serialize};
+
+/// One span flattened to the fields downstream analysis uses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanView {
+    /// The service that executed the work.
+    pub service: String,
+    /// The operation name.
+    pub operation: String,
+    /// Duration in microseconds (possibly an estimate for approximate data).
+    pub duration_us: u64,
+    /// Whether the span recorded an error.
+    pub is_error: bool,
+}
+
+/// One trace flattened for downstream analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceView {
+    /// The trace id.
+    pub trace_id: TraceId,
+    /// Whether the view carries exact information (`true`) or approximate
+    /// pattern-level information (`false`).
+    pub exact: bool,
+    /// End-to-end duration in microseconds (possibly an estimate).
+    pub duration_us: u64,
+    /// Flattened spans.
+    pub spans: Vec<SpanView>,
+}
+
+impl TraceView {
+    /// Whether any span recorded an error.
+    pub fn has_error(&self) -> bool {
+        self.spans.iter().any(|s| s.is_error)
+    }
+
+    /// The distinct services the trace passed through.
+    pub fn services(&self) -> Vec<&str> {
+        let mut services: Vec<&str> = self.spans.iter().map(|s| s.service.as_str()).collect();
+        services.sort_unstable();
+        services.dedup();
+        services
+    }
+}
+
+impl From<&Span> for SpanView {
+    fn from(span: &Span) -> Self {
+        SpanView {
+            service: span.service().to_owned(),
+            operation: span.name().to_owned(),
+            duration_us: span.duration_us(),
+            is_error: span.status().is_error(),
+        }
+    }
+}
+
+impl From<&Trace> for TraceView {
+    fn from(trace: &Trace) -> Self {
+        TraceView {
+            trace_id: trace.trace_id(),
+            exact: true,
+            duration_us: trace.duration_us(),
+            spans: trace.spans().iter().map(SpanView::from).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SpanId, SpanStatus};
+
+    #[test]
+    fn view_flattens_trace() {
+        let tid = TraceId::from_u128(9);
+        let mut spans = vec![
+            Span::builder(tid, SpanId::from_u64(1)).service("a").name("root").duration_us(100).build(),
+            Span::builder(tid, SpanId::from_u64(2))
+                .parent(SpanId::from_u64(1))
+                .service("b")
+                .name("child")
+                .duration_us(40)
+                .build(),
+        ];
+        spans[1].set_status(SpanStatus::Error);
+        let trace = Trace::from_spans(tid, spans).unwrap();
+        let view = TraceView::from(&trace);
+        assert!(view.exact);
+        assert_eq!(view.spans.len(), 2);
+        assert_eq!(view.duration_us, 100);
+        assert!(view.has_error());
+        assert_eq!(view.services(), vec!["a", "b"]);
+    }
+}

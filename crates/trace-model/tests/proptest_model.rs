@@ -1,0 +1,83 @@
+//! Property-based tests for the trace data model.
+
+use proptest::prelude::*;
+use trace_model::{AttrValue, Span, SpanId, SpanKind, Trace, TraceId, WireSize};
+
+fn arb_attr_value() -> impl Strategy<Value = AttrValue> {
+    prop_oneof![
+        "[a-zA-Z0-9 _/=-]{0,40}".prop_map(AttrValue::Str),
+        any::<i64>().prop_map(AttrValue::Int),
+        (-1.0e9f64..1.0e9).prop_map(AttrValue::Float),
+        any::<bool>().prop_map(AttrValue::Bool),
+    ]
+}
+
+fn arb_span(trace_id: u128, span_id: u64, parent: u64) -> impl Strategy<Value = Span> {
+    (
+        "[a-z]{1,12}",
+        "[a-z]{1,12}",
+        0u64..1_000_000,
+        0u64..1_000_000,
+        proptest::collection::vec(("[a-z.]{1,16}", arb_attr_value()), 0..8),
+    )
+        .prop_map(move |(name, service, start, dur, attrs)| {
+            let mut builder = Span::builder(TraceId::from_u128(trace_id), SpanId::from_u64(span_id))
+                .parent(SpanId::from_u64(parent))
+                .name(name)
+                .service(service)
+                .kind(SpanKind::Server)
+                .start_time_us(start)
+                .duration_us(dur);
+            for (k, v) in attrs {
+                builder = builder.attr(k, v);
+            }
+            builder.build()
+        })
+}
+
+/// A chain-shaped trace: span i's parent is span i-1.
+fn arb_chain_trace() -> impl Strategy<Value = Trace> {
+    (1usize..12).prop_flat_map(|n| {
+        let spans: Vec<_> = (0..n)
+            .map(|i| arb_span(42, (i + 1) as u64, i as u64))
+            .collect();
+        spans.prop_map(|spans| Trace::from_spans(TraceId::from_u128(42), spans).unwrap())
+    })
+}
+
+proptest! {
+    #[test]
+    fn wire_size_is_positive_and_monotone_in_attrs(value in arb_attr_value()) {
+        prop_assert!(value.wire_size() >= 2);
+    }
+
+    #[test]
+    fn chain_traces_are_coherent(trace in arb_chain_trace()) {
+        prop_assert!(trace.is_coherent());
+        prop_assert_eq!(trace.depth(), trace.len());
+        prop_assert!(trace.root().is_some());
+    }
+
+    #[test]
+    fn trace_wire_size_equals_span_sum_plus_envelope(trace in arb_chain_trace()) {
+        let sum: usize = trace.spans().iter().map(|s| s.wire_size()).sum();
+        prop_assert_eq!(trace.wire_size(), sum + 16);
+    }
+
+    #[test]
+    fn text_rendering_is_lossless_line_count(trace in arb_chain_trace()) {
+        let text = trace_model::render_trace_text(&trace);
+        prop_assert_eq!(text.lines().count(), trace.len());
+        // Every span id appears somewhere in the rendering.
+        for span in trace.spans() {
+            prop_assert!(text.contains(&span.span_id().to_string()));
+        }
+    }
+
+    #[test]
+    fn display_roundtrip_for_trace_ids(raw in any::<u128>()) {
+        let id = TraceId::from_u128(raw);
+        let parsed = u128::from_str_radix(&id.to_string(), 16).unwrap();
+        prop_assert_eq!(parsed, raw);
+    }
+}

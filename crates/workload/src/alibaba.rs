@@ -1,0 +1,476 @@
+//! Alibaba-style production workload models.
+//!
+//! The paper's empirical study (§2.2) and several experiments (Table 4,
+//! Table 5, Fig. 1, Fig. 2, Fig. 16) use traces from Alibaba production
+//! systems.  Those traces are proprietary, so this module provides synthetic
+//! stand-ins parameterized to the characteristics the paper reports:
+//!
+//! * [`ALIBABA_DATASETS`] — the six datasets of Fig. 13 (trace count, API
+//!   count, average call depth) used for the compression-ratio comparison;
+//! * [`ALIBABA_SUB_SERVICES`] — the five sub-services of Table 5 with their
+//!   raw trace counts and expected span/topology pattern counts;
+//! * [`daily_volume_model`] — Fig. 1's 18.6–20.5 PB/day volume series;
+//! * [`top_service_overhead_model`] — Fig. 2's storage/bandwidth overhead of
+//!   the five largest services.
+
+use crate::attrs::{AttrTemplate, VarSlot};
+use crate::generator::{GeneratorConfig, TraceGenerator};
+use crate::topology::{Application, CallSpec, LatencyModel, OperationSpec, ServiceSpec};
+use serde::{Deserialize, Serialize};
+use trace_model::SpanKind;
+
+/// Parameters of one synthetic Alibaba dataset (Fig. 13 in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Dataset label (`A` … `F`).
+    pub name: &'static str,
+    /// Number of traces the paper's dataset contained.
+    pub trace_number: usize,
+    /// Number of distinct request APIs.
+    pub api_number: usize,
+    /// Average call depth of a trace.
+    pub average_depth: usize,
+}
+
+impl DatasetSpec {
+    /// Builds the synthetic application whose traces mimic this dataset.
+    pub fn application(&self) -> Application {
+        layered_application(
+            &format!("alibaba-dataset-{}", self.name),
+            self.api_number,
+            self.average_depth,
+            // A couple of extra internal operations beyond one per layer so
+            // span patterns outnumber topology patterns, as in real systems.
+            self.average_depth + self.api_number * 2,
+        )
+    }
+
+    /// Creates a deterministic generator for this dataset.
+    pub fn generator(&self, seed: u64) -> TraceGenerator {
+        TraceGenerator::new(
+            self.application(),
+            GeneratorConfig::default().with_seed(seed ^ 0xA11BABA),
+        )
+    }
+
+    /// The number of traces to generate when the experiment is run at
+    /// `scale` (a fraction of the paper's full dataset size), with a floor of
+    /// 100 traces so small-scale runs remain meaningful.
+    pub fn scaled_trace_count(&self, scale: f64) -> usize {
+        ((self.trace_number as f64 * scale) as usize).max(100)
+    }
+}
+
+/// The six datasets of Fig. 13.
+pub const ALIBABA_DATASETS: [DatasetSpec; 6] = [
+    DatasetSpec { name: "A", trace_number: 142_217, api_number: 2, average_depth: 6 },
+    DatasetSpec { name: "B", trace_number: 842_103, api_number: 4, average_depth: 11 },
+    DatasetSpec { name: "C", trace_number: 1_652_214, api_number: 4, average_depth: 52 },
+    DatasetSpec { name: "D", trace_number: 256_477, api_number: 6, average_depth: 15 },
+    DatasetSpec { name: "E", trace_number: 1_143_529, api_number: 6, average_depth: 28 },
+    DatasetSpec { name: "F", trace_number: 1_874_583, api_number: 8, average_depth: 23 },
+];
+
+/// Looks up a dataset by its letter name.
+pub fn alibaba_dataset(name: &str) -> Option<DatasetSpec> {
+    ALIBABA_DATASETS.iter().copied().find(|d| d.name == name)
+}
+
+/// Parameters of one sub-service from Table 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubServiceSpec {
+    /// Sub-service label (`S1` … `S5`).
+    pub name: &'static str,
+    /// Raw trace count collected over one hour in the paper.
+    pub raw_trace_number: usize,
+    /// Span-level pattern count the paper's Span Parser extracted.
+    pub span_pattern_number: usize,
+    /// Trace-level pattern count the paper's Trace Parser extracted.
+    pub trace_pattern_number: usize,
+}
+
+impl SubServiceSpec {
+    /// Builds the synthetic application for this sub-service: the number of
+    /// entry APIs equals the expected trace-level pattern count and the total
+    /// operation count equals the expected span-level pattern count, so a
+    /// correct parser should recover approximately those numbers.
+    pub fn application(&self) -> Application {
+        let depth = (self.span_pattern_number / self.trace_pattern_number.max(1)).max(2);
+        layered_application(
+            &format!("alibaba-{}", self.name.to_lowercase()),
+            self.trace_pattern_number,
+            depth,
+            self.span_pattern_number,
+        )
+    }
+
+    /// Creates a deterministic generator for this sub-service.
+    pub fn generator(&self, seed: u64) -> TraceGenerator {
+        TraceGenerator::new(
+            self.application(),
+            GeneratorConfig::default()
+                .with_seed(seed ^ 0x5AB5)
+                // The Table 5 sub-services measure steady-state pattern
+                // extraction; abnormal traffic is injected by other
+                // experiments explicitly.
+                .with_abnormal_rate(0.0),
+        )
+    }
+
+    /// Number of traces to generate at `scale`.
+    pub fn scaled_trace_count(&self, scale: f64) -> usize {
+        ((self.raw_trace_number as f64 * scale) as usize).max(100)
+    }
+}
+
+/// The five sub-services of Table 5.
+pub const ALIBABA_SUB_SERVICES: [SubServiceSpec; 5] = [
+    SubServiceSpec { name: "S1", raw_trace_number: 146_985, span_pattern_number: 11, trace_pattern_number: 8 },
+    SubServiceSpec { name: "S2", raw_trace_number: 126_245, span_pattern_number: 10, trace_pattern_number: 8 },
+    SubServiceSpec { name: "S3", raw_trace_number: 93_546, span_pattern_number: 14, trace_pattern_number: 5 },
+    SubServiceSpec { name: "S4", raw_trace_number: 92_527, span_pattern_number: 7, trace_pattern_number: 3 },
+    SubServiceSpec { name: "S5", raw_trace_number: 79_179, span_pattern_number: 9, trace_pattern_number: 3 },
+];
+
+/// Looks up a sub-service by name (`"S1"` … `"S5"`).
+pub fn alibaba_sub_service(name: &str) -> Option<SubServiceSpec> {
+    ALIBABA_SUB_SERVICES.iter().copied().find(|s| s.name == name)
+}
+
+/// Builds a layered synthetic application.
+///
+/// The application consists of `depth` layers of services.  Layer 0 contains
+/// `api_count` entry operations (one per API); the remaining operation budget
+/// (`total_operations`) is distributed over deeper layers.  Each operation
+/// calls one or two operations of the next layer, producing traces whose
+/// depth equals the number of layers and whose topology is determined by the
+/// entry API — exactly the commonality structure the paper observes in
+/// production systems.
+pub fn layered_application(
+    name: &str,
+    api_count: usize,
+    depth: usize,
+    total_operations: usize,
+) -> Application {
+    let api_count = api_count.max(1);
+    let depth = depth.max(2);
+    let total_operations = total_operations.max(api_count + depth - 1);
+
+    // Distribute operations: layer 0 gets `api_count`, the rest are spread
+    // evenly (at least 1 per layer).
+    let deeper_layers = depth - 1;
+    let remaining = total_operations - api_count;
+    let base_width = (remaining / deeper_layers).max(1);
+    let mut extra = remaining.saturating_sub(base_width * deeper_layers);
+
+    let mut layer_widths = vec![api_count];
+    for _ in 0..deeper_layers {
+        let mut width = base_width;
+        if extra > 0 {
+            width += 1;
+            extra -= 1;
+        }
+        layer_widths.push(width);
+    }
+
+    let table_names = [
+        "orders", "inventory", "users", "payments", "shipments", "coupons", "sessions", "audit",
+    ];
+    let resource_names = [
+        "campus", "cart", "catalog", "billing", "profile", "search", "recommend", "settlement",
+    ];
+
+    let mut services = Vec::new();
+    for (layer, &width) in layer_widths.iter().enumerate() {
+        let mut service = ServiceSpec::new(format!("{name}-l{layer}"));
+        for slot in 0..width {
+            let op_name = format!("l{layer}-op{slot}");
+            let mut op = OperationSpec::new(op_name)
+                .kind(if layer == 0 { SpanKind::Server } else { SpanKind::Internal })
+                .latency(LatencyModel::new(250 + 30 * layer as u64, 100));
+            // Shared "detailed production span" attributes: every operation
+            // carries rich metadata the way the paper describes production
+            // traces (more detailed than debug-level logging).
+            op = op
+                .attr(AttrTemplate::pattern(
+                    "host.name",
+                    &format!("{name}-l{layer}-host-{{}}.eu13.prod.internal"),
+                    [VarSlot::number(1, 96)],
+                ))
+                .attr(AttrTemplate::pattern(
+                    "container.id",
+                    "containerd://{}",
+                    [VarSlot::hex_id(24)],
+                ))
+                .attr(AttrTemplate::pattern(
+                    "thread.name",
+                    "dubbo-biz-thread-pool-worker-{}",
+                    [VarSlot::number(1, 512)],
+                ))
+                .attr(AttrTemplate::pattern(
+                    "code.function",
+                    &format!(
+                        "com.alibaba.platform.{name}.layer{layer}.handler.RequestHandler.invoke{{}}WithRetry"
+                    ),
+                    [VarSlot::word(["Sync", "Async", "Batch"])],
+                ))
+                .attr(AttrTemplate::pattern(
+                    "log.message",
+                    &format!(
+                        "request accepted by {name} layer {layer} slot {slot} queue depth {{}} tenant {{}} priority normal deadline {{}} ms remaining"
+                    ),
+                    [
+                        VarSlot::number(0, 256),
+                        VarSlot::number(1, 4_000),
+                        VarSlot::number(5, 3_000),
+                    ],
+                ))
+                .attr(AttrTemplate::int_range("queue.depth", 0, 128))
+                .attr(AttrTemplate::float_range("resource.cpu.utilization", 0.05, 0.75))
+                .attr(AttrTemplate::int_range("payload.bytes", 128, 65_536));
+            // Role-specific attributes: alternate SQL / HTTP / RPC flavours.
+            match (layer + slot) % 3 {
+                0 => {
+                    let table = table_names[(layer + slot) % table_names.len()];
+                    op = op
+                        .attr(AttrTemplate::const_str("db.system", "mysql"))
+                        .attr(AttrTemplate::const_str(
+                            "db.connection_string",
+                            format!("mysql://trace-store-{layer}.db.prod.internal:3306/{table}"),
+                        ))
+                        .attr(AttrTemplate::pattern(
+                            "sql.query",
+                            &format!(
+                                "SELECT order_id, customer_id, warehouse_id, sku_id, quantity, unit_price, currency, created_at, updated_at, status FROM {table} WHERE tenant_id = {{}} AND shard_key = {{}} AND id = {{}} ORDER BY updated_at DESC LIMIT {{}}"
+                            ),
+                            [
+                                VarSlot::number(1, 500),
+                                VarSlot::number(0, 1_023),
+                                VarSlot::number(1, 5_000_000),
+                                VarSlot::number(1, 200),
+                            ],
+                        ))
+                        .attr(AttrTemplate::int_range("db.rows_affected", 0, 200))
+                        .attr(AttrTemplate::int_range("db.latency_ms", 1, 80));
+                }
+                1 => {
+                    let resource = resource_names[(layer + slot) % resource_names.len()];
+                    op = op
+                        .attr(AttrTemplate::pattern(
+                            "http.url",
+                            &format!(
+                                "https://gateway.prod.internal/api/v1/{resource}/items?user={{}}&session={{}}&page={{}}&page_size=50&channel=mobile-app"
+                            ),
+                            [VarSlot::hex_id(10), VarSlot::hex_id(16), VarSlot::number(1, 40)],
+                        ))
+                        .attr(AttrTemplate::const_str("http.method", "POST"))
+                        .attr(AttrTemplate::const_str("http.flavor", "2.0"))
+                        .attr(AttrTemplate::pattern(
+                            "http.user_agent",
+                            "AlibabaMobileClient/7.{}.{} (Android; tenant {})",
+                            [VarSlot::number(0, 9), VarSlot::number(0, 40), VarSlot::number(1, 500)],
+                        ))
+                        .attr(AttrTemplate::int_range("http.status_code", 200, 200))
+                        .attr(AttrTemplate::int_range("http.response_content_length", 256, 131_072));
+                }
+                _ => {
+                    op = op
+                        .attr(AttrTemplate::const_str("rpc.system", "dubbo"))
+                        .attr(AttrTemplate::const_str(
+                            "rpc.service",
+                            format!("com.alibaba.platform.layer{layer}.InventoryFacadeService"),
+                        ))
+                        .attr(AttrTemplate::pattern(
+                            "rpc.request.payload",
+                            "{{\"tenantId\":{},\"warehouse\":\"WH-{}\",\"items\":[{{\"sku\":\"SKU-{}\",\"qty\":{}}}],\"traceContext\":\"{}\"}}",
+                            [
+                                VarSlot::number(1, 500),
+                                VarSlot::number(1, 64),
+                                VarSlot::hex_id(8),
+                                VarSlot::number(1, 12),
+                                VarSlot::hex_id(20),
+                            ],
+                        ))
+                        .attr(AttrTemplate::int_range("rpc.grpc.status_code", 0, 0))
+                        .attr(AttrTemplate::int_range("net.peer.port", 20_880, 20_880));
+                }
+            }
+            // Wire calls into the next layer.
+            if layer + 1 < layer_widths.len() {
+                let next_width = layer_widths[layer + 1];
+                let primary = slot % next_width;
+                op = op.call(format!("{name}-l{}", layer + 1), format!("l{}-op{}", layer + 1, primary));
+                // A little fan-out on even slots of the entry layer to vary
+                // topology shapes between APIs.
+                if layer == 0 && slot % 2 == 0 && next_width > 1 {
+                    let secondary = (slot + 1) % next_width;
+                    if secondary != primary {
+                        op = op.call(
+                            format!("{name}-l{}", layer + 1),
+                            format!("l{}-op{}", layer + 1, secondary),
+                        );
+                    }
+                }
+            }
+            service = service.operation(op);
+        }
+        services.push(service);
+    }
+
+    let mut builder = Application::builder(name);
+    for service in services {
+        builder = builder.service(service);
+    }
+    for api in 0..api_count {
+        // Zipf-like popularity: earlier APIs are much more popular.
+        let weight = 100.0 / (api as f64 + 1.0);
+        builder = builder.api(
+            format!("api-{api}"),
+            CallSpec::new(format!("{name}-l0"), format!("l0-op{api}")),
+            weight,
+        );
+    }
+    builder.build().expect("layered application is valid")
+}
+
+/// Storage and network overhead of one of the top-5 services (Fig. 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceOverhead {
+    /// Service label (`svcA` … `svcE`).
+    pub name: String,
+    /// Trace storage overhead in GB per day.
+    pub storage_gb_per_day: f64,
+    /// Tracing bandwidth increment in MB per minute.
+    pub tracing_bandwidth_mb_per_min: f64,
+    /// Business (non-tracing) bandwidth in MB per minute, for reference.
+    pub business_bandwidth_mb_per_min: f64,
+}
+
+/// Fig. 2's per-service overhead model: five services whose mean daily trace
+/// storage is about 7,639 GB and whose tracing bandwidth reaches roughly
+/// 102 MB/min on the largest service.
+pub fn top_service_overhead_model() -> Vec<ServiceOverhead> {
+    let storage = [10_400.0, 9_100.0, 7_600.0, 6_300.0, 4_795.0];
+    let tracing_bw = [102.0, 88.0, 71.0, 55.0, 38.0];
+    let business_bw = [195.0, 170.0, 150.0, 120.0, 95.0];
+    ["svcA", "svcB", "svcC", "svcD", "svcE"]
+        .iter()
+        .enumerate()
+        .map(|(i, name)| ServiceOverhead {
+            name: (*name).to_owned(),
+            storage_gb_per_day: storage[i],
+            tracing_bandwidth_mb_per_min: tracing_bw[i],
+            business_bandwidth_mb_per_min: business_bw[i],
+        })
+        .collect()
+}
+
+/// Fig. 1's daily trace volume model: `days` days of total trace volume in
+/// terabytes, oscillating between roughly 18,600 and 20,500 TB (18.6–20.5 PB)
+/// with a weekly rhythm.  Deterministic in `days`.
+pub fn daily_volume_model(days: usize) -> Vec<f64> {
+    (0..days)
+        .map(|day| {
+            let weekly = ((day % 7) as f64 / 7.0 * std::f64::consts::TAU).sin();
+            let drift = (day as f64 / days.max(1) as f64) * 600.0;
+            19_400.0 + weekly * 800.0 + drift - 300.0
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datasets_match_fig13() {
+        assert_eq!(ALIBABA_DATASETS.len(), 6);
+        let c = alibaba_dataset("C").unwrap();
+        assert_eq!(c.trace_number, 1_652_214);
+        assert_eq!(c.api_number, 4);
+        assert_eq!(c.average_depth, 52);
+        assert!(alibaba_dataset("Z").is_none());
+    }
+
+    #[test]
+    fn dataset_applications_have_requested_apis() {
+        for spec in ALIBABA_DATASETS {
+            let app = spec.application();
+            assert_eq!(app.apis().len(), spec.api_number, "dataset {}", spec.name);
+        }
+    }
+
+    #[test]
+    fn dataset_traces_reach_expected_depth() {
+        for spec in ALIBABA_DATASETS.iter().take(3) {
+            let mut generator = spec.generator(1);
+            let trace = generator.generate_one();
+            // Depth equals the number of layers (= average_depth).
+            assert_eq!(trace.depth(), spec.average_depth, "dataset {}", spec.name);
+        }
+    }
+
+    #[test]
+    fn sub_services_match_table5() {
+        assert_eq!(ALIBABA_SUB_SERVICES.len(), 5);
+        let s3 = alibaba_sub_service("S3").unwrap();
+        assert_eq!(s3.raw_trace_number, 93_546);
+        assert_eq!(s3.span_pattern_number, 14);
+        assert_eq!(s3.trace_pattern_number, 5);
+    }
+
+    #[test]
+    fn sub_service_application_span_pattern_budget() {
+        for spec in ALIBABA_SUB_SERVICES {
+            let app = spec.application();
+            let total_ops: usize = app.services().iter().map(|s| s.operations.len()).sum();
+            assert!(
+                total_ops >= spec.span_pattern_number,
+                "{}: {total_ops} < {}",
+                spec.name,
+                spec.span_pattern_number
+            );
+            assert_eq!(app.apis().len(), spec.trace_pattern_number);
+        }
+    }
+
+    #[test]
+    fn scaled_counts_have_floor() {
+        let a = alibaba_dataset("A").unwrap();
+        assert_eq!(a.scaled_trace_count(1e-9), 100);
+        assert_eq!(a.scaled_trace_count(0.01), 1_422);
+        let s1 = alibaba_sub_service("S1").unwrap();
+        assert_eq!(s1.scaled_trace_count(0.01), 1_469);
+    }
+
+    #[test]
+    fn layered_application_is_generatable() {
+        let app = layered_application("test", 3, 5, 12);
+        assert_eq!(app.apis().len(), 3);
+        let mut generator = TraceGenerator::new(app, GeneratorConfig::default());
+        let traces = generator.generate(30);
+        for trace in &traces {
+            assert!(trace.is_coherent());
+            assert_eq!(trace.depth(), 5);
+        }
+    }
+
+    #[test]
+    fn volume_model_is_in_paper_range() {
+        let volumes = daily_volume_model(28);
+        assert_eq!(volumes.len(), 28);
+        for v in &volumes {
+            assert!((18_000.0..21_000.0).contains(v), "volume {v}");
+        }
+    }
+
+    #[test]
+    fn overhead_model_matches_fig2_magnitudes() {
+        let services = top_service_overhead_model();
+        assert_eq!(services.len(), 5);
+        let mean_storage: f64 =
+            services.iter().map(|s| s.storage_gb_per_day).sum::<f64>() / services.len() as f64;
+        assert!((7_000.0..8_200.0).contains(&mean_storage));
+        assert!(services.iter().any(|s| s.tracing_bandwidth_mb_per_min >= 100.0));
+    }
+}

@@ -1,0 +1,640 @@
+//! Ready-made application descriptions mirroring the paper's benchmarks.
+//!
+//! * [`online_boutique`] — Google's OnlineBoutique demo: 10 services
+//!   communicating over gRPC, 8 request APIs.
+//! * [`train_ticket`] — FudanSELab's TrainTicket: 45 services, REST calls,
+//!   deeper call chains.
+//!
+//! The call trees are hand-modelled after the real benchmarks' architecture
+//! diagrams; attribute templates emulate the kind of instrumentation each
+//! service would add (SQL for database-backed services, URLs for HTTP
+//! front-ends, RPC function names for internal services).
+
+use crate::attrs::{AttrTemplate, VarSlot};
+use crate::topology::{Application, CallSpec, LatencyModel, OperationSpec, ServiceSpec};
+use trace_model::SpanKind;
+
+fn rpc_attrs(service: &str, method: &str) -> Vec<AttrTemplate> {
+    vec![
+        AttrTemplate::const_str("rpc.system", "grpc"),
+        AttrTemplate::const_str("rpc.service", service.to_owned()),
+        AttrTemplate::const_str("rpc.method", method.to_owned()),
+        AttrTemplate::int_range("rpc.grpc.status_code", 0, 0),
+        AttrTemplate::pattern(
+            "thread.name",
+            "grpc-executor-{}",
+            [VarSlot::number(1, 32)],
+        ),
+    ]
+}
+
+fn http_attrs(route: &str) -> Vec<AttrTemplate> {
+    vec![
+        AttrTemplate::choice("http.method", ["GET", "POST"]),
+        AttrTemplate::pattern(
+            "http.url",
+            &format!("{route}?session={{}}"),
+            [VarSlot::hex_id(16)],
+        ),
+        AttrTemplate::const_str("http.flavor", "1.1"),
+        AttrTemplate::int_range("http.status_code", 200, 200),
+        AttrTemplate::pattern("net.peer.ip", "10.0.{}.{}", [
+            VarSlot::number(0, 255),
+            VarSlot::number(1, 254),
+        ]),
+    ]
+}
+
+fn db_attrs(table: &str) -> Vec<AttrTemplate> {
+    vec![
+        AttrTemplate::const_str("db.system", "mysql"),
+        AttrTemplate::pattern(
+            "db.statement",
+            &format!("SELECT * FROM {table} WHERE id = {{}} LIMIT {{}}"),
+            [VarSlot::number(1, 5_000_000), VarSlot::number(1, 100)],
+        ),
+        AttrTemplate::int_range("db.rows_affected", 0, 50),
+        AttrTemplate::pattern("db.connection_id", "conn-{}", [VarSlot::number(1, 64)]),
+    ]
+}
+
+/// Builds the OnlineBoutique application: 10 services, 8 APIs.
+///
+/// ```
+/// let app = workload::online_boutique();
+/// assert_eq!(app.service_count(), 10);
+/// assert_eq!(app.apis().len(), 8);
+/// ```
+pub fn online_boutique() -> Application {
+    let frontend = ServiceSpec::new("frontend")
+        .operation(
+            OperationSpec::new("GET /")
+                .kind(SpanKind::Server)
+                .latency(LatencyModel::new(800, 2_000))
+                .attr(AttrTemplate::const_str("component", "http"))
+                .call("productcatalogservice", "ListProducts")
+                .call("currencyservice", "GetSupportedCurrencies")
+                .call("cartservice", "GetCart")
+                .call("adservice", "GetAds"),
+        )
+        .operation(
+            OperationSpec::new("GET /product")
+                .kind(SpanKind::Server)
+                .latency(LatencyModel::new(700, 1_800))
+                .call("productcatalogservice", "GetProduct")
+                .call("recommendationservice", "ListRecommendations")
+                .call("currencyservice", "Convert")
+                .call("adservice", "GetAds"),
+        )
+        .operation(
+            OperationSpec::new("GET /cart")
+                .kind(SpanKind::Server)
+                .latency(LatencyModel::new(600, 1_500))
+                .call("cartservice", "GetCart")
+                .call("recommendationservice", "ListRecommendations")
+                .call("shippingservice", "GetQuote"),
+        )
+        .operation(
+            OperationSpec::new("POST /cart")
+                .kind(SpanKind::Server)
+                .latency(LatencyModel::new(500, 1_200))
+                .call("productcatalogservice", "GetProduct")
+                .call("cartservice", "AddItem"),
+        )
+        .operation(
+            OperationSpec::new("POST /cart/checkout")
+                .kind(SpanKind::Server)
+                .latency(LatencyModel::new(1_200, 3_000))
+                .call("checkoutservice", "PlaceOrder"),
+        )
+        .operation(
+            OperationSpec::new("POST /setCurrency")
+                .kind(SpanKind::Server)
+                .latency(LatencyModel::new(300, 600))
+                .call("currencyservice", "GetSupportedCurrencies"),
+        );
+
+    // Attach HTTP attributes to every frontend operation.
+    let frontend = ServiceSpec {
+        name: frontend.name.clone(),
+        operations: frontend
+            .operations
+            .into_iter()
+            .map(|mut op| {
+                let route = op.name.split(' ').nth(1).unwrap_or("/").to_owned();
+                op.attrs.extend(http_attrs(&route));
+                op
+            })
+            .collect(),
+    };
+
+    let product_catalog = ServiceSpec::new("productcatalogservice")
+        .operation(
+            OperationSpec::new("ListProducts")
+                .latency(LatencyModel::new(400, 900))
+                .attr(AttrTemplate::int_range("app.products.count", 9, 9))
+                .attr(AttrTemplate::const_str("rpc.method", "ListProducts")),
+        )
+        .operation(
+            OperationSpec::new("GetProduct")
+                .latency(LatencyModel::new(250, 700))
+                .attr(AttrTemplate::pattern(
+                    "app.product.id",
+                    "SKU-{}",
+                    [VarSlot::hex_id(6)],
+                ))
+                .attr(AttrTemplate::const_str("rpc.method", "GetProduct")),
+        )
+        .operation(
+            OperationSpec::new("SearchProducts")
+                .latency(LatencyModel::new(600, 1_400))
+                .attr(AttrTemplate::pattern(
+                    "app.query",
+                    "q={}",
+                    [VarSlot::word(["vintage", "camera", "bike", "candle", "watch"])],
+                )),
+        );
+
+    let cart = ServiceSpec::new("cartservice")
+        .operation(
+            OperationSpec::new("GetCart")
+                .latency(LatencyModel::new(300, 800))
+                .attr(AttrTemplate::pattern("app.user.id", "user-{}", [VarSlot::hex_id(10)]))
+                .attr(AttrTemplate::const_str("db.system", "redis"))
+                .attr(AttrTemplate::pattern(
+                    "db.statement",
+                    "HGETALL cart:{}",
+                    [VarSlot::hex_id(10)],
+                )),
+        )
+        .operation(
+            OperationSpec::new("AddItem")
+                .latency(LatencyModel::new(350, 900))
+                .attr(AttrTemplate::pattern("app.user.id", "user-{}", [VarSlot::hex_id(10)]))
+                .attr(AttrTemplate::int_range("app.item.quantity", 1, 10))
+                .attr(AttrTemplate::const_str("db.system", "redis"))
+                .attr(AttrTemplate::pattern(
+                    "db.statement",
+                    "HSET cart:{} sku {}",
+                    [VarSlot::hex_id(10), VarSlot::hex_id(6)],
+                )),
+        )
+        .operation(
+            OperationSpec::new("EmptyCart")
+                .latency(LatencyModel::new(200, 500))
+                .attr(AttrTemplate::pattern(
+                    "db.statement",
+                    "DEL cart:{}",
+                    [VarSlot::hex_id(10)],
+                )),
+        );
+
+    let currency = ServiceSpec::new("currencyservice")
+        .operation(
+            OperationSpec::new("GetSupportedCurrencies")
+                .latency(LatencyModel::new(120, 300))
+                .attrs_from(rpc_attrs("CurrencyService", "GetSupportedCurrencies")),
+        )
+        .operation(
+            OperationSpec::new("Convert")
+                .latency(LatencyModel::new(150, 400))
+                .attrs_from(rpc_attrs("CurrencyService", "Convert"))
+                .attr(AttrTemplate::choice("app.currency.target", ["USD", "EUR", "JPY", "CAD"]))
+                .attr(AttrTemplate::float_range("app.currency.rate", 0.4, 2.1)),
+        );
+
+    let payment = ServiceSpec::new("paymentservice").operation(
+        OperationSpec::new("Charge")
+            .latency(LatencyModel::new(900, 2_500))
+            .attrs_from(rpc_attrs("PaymentService", "Charge"))
+            .attr(AttrTemplate::float_range("app.charge.amount", 1.0, 900.0))
+            .attr(AttrTemplate::pattern(
+                "app.transaction.id",
+                "txn-{}",
+                [VarSlot::hex_id(16)],
+            )),
+    );
+
+    let shipping = ServiceSpec::new("shippingservice")
+        .operation(
+            OperationSpec::new("GetQuote")
+                .latency(LatencyModel::new(350, 800))
+                .attrs_from(rpc_attrs("ShippingService", "GetQuote"))
+                .attr(AttrTemplate::float_range("app.shipping.cost", 2.0, 40.0)),
+        )
+        .operation(
+            OperationSpec::new("ShipOrder")
+                .latency(LatencyModel::new(500, 1_200))
+                .attrs_from(rpc_attrs("ShippingService", "ShipOrder"))
+                .attr(AttrTemplate::pattern(
+                    "app.tracking.id",
+                    "TRK-{}-{}",
+                    [VarSlot::word(["US", "NL", "CN", "DE"]), VarSlot::hex_id(10)],
+                )),
+        );
+
+    let email = ServiceSpec::new("emailservice").operation(
+        OperationSpec::new("SendOrderConfirmation")
+            .latency(LatencyModel::new(700, 1_800))
+            .attrs_from(rpc_attrs("EmailService", "SendOrderConfirmation"))
+            .attr(AttrTemplate::pattern(
+                "app.email.recipient",
+                "{}@example.com",
+                [VarSlot::hex_id(8)],
+            )),
+    );
+
+    let checkout = ServiceSpec::new("checkoutservice").operation(
+        OperationSpec::new("PlaceOrder")
+            .latency(LatencyModel::new(1_000, 2_500))
+            .attrs_from(rpc_attrs("CheckoutService", "PlaceOrder"))
+            .attr(AttrTemplate::pattern("app.order.id", "order-{}", [VarSlot::hex_id(12)]))
+            .call("cartservice", "GetCart")
+            .call("productcatalogservice", "GetProduct")
+            .call("shippingservice", "GetQuote")
+            .call("currencyservice", "Convert")
+            .call("paymentservice", "Charge")
+            .call("shippingservice", "ShipOrder")
+            .call("cartservice", "EmptyCart")
+            .call("emailservice", "SendOrderConfirmation"),
+    );
+
+    let recommendation = ServiceSpec::new("recommendationservice").operation(
+        OperationSpec::new("ListRecommendations")
+            .latency(LatencyModel::new(450, 1_100))
+            .attrs_from(rpc_attrs("RecommendationService", "ListRecommendations"))
+            .attr(AttrTemplate::int_range("app.recommendations.count", 1, 5))
+            .call("productcatalogservice", "ListProducts"),
+    );
+
+    let ads = ServiceSpec::new("adservice").operation(
+        OperationSpec::new("GetAds")
+            .latency(LatencyModel::new(200, 600))
+            .attrs_from(rpc_attrs("AdService", "GetAds"))
+            .attr(AttrTemplate::choice(
+                "app.ads.context_keys",
+                ["clothing", "accessories", "kitchen", "footwear"],
+            )),
+    );
+
+    Application::builder("online-boutique")
+        .service(frontend)
+        .service(product_catalog)
+        .service(cart)
+        .service(currency)
+        .service(payment)
+        .service(shipping)
+        .service(email)
+        .service(checkout)
+        .service(recommendation)
+        .service(ads)
+        .api("home", CallSpec::new("frontend", "GET /"), 30.0)
+        .api("browse-product", CallSpec::new("frontend", "GET /product"), 25.0)
+        .api("view-cart", CallSpec::new("frontend", "GET /cart"), 12.0)
+        .api("add-to-cart", CallSpec::new("frontend", "POST /cart"), 15.0)
+        .api("checkout", CallSpec::new("frontend", "POST /cart/checkout"), 8.0)
+        .api("set-currency", CallSpec::new("frontend", "POST /setCurrency"), 5.0)
+        .api(
+            "search",
+            CallSpec::new("productcatalogservice", "SearchProducts"),
+            4.0,
+        )
+        .api("ads-only", CallSpec::new("adservice", "GetAds"), 1.0)
+        .build()
+        .expect("online boutique topology is valid")
+}
+
+/// Short helper so `OperationSpec` can absorb a batch of attribute templates.
+trait AttrsFrom {
+    fn attrs_from(self, attrs: Vec<AttrTemplate>) -> Self;
+}
+
+impl AttrsFrom for OperationSpec {
+    fn attrs_from(mut self, attrs: Vec<AttrTemplate>) -> Self {
+        self.attrs.extend(attrs);
+        self
+    }
+}
+
+/// The 45 TrainTicket services, named after the real benchmark.
+const TRAIN_TICKET_SERVICES: [&str; 45] = [
+    "ts-ui-dashboard",
+    "ts-auth-service",
+    "ts-user-service",
+    "ts-verification-code-service",
+    "ts-station-service",
+    "ts-train-service",
+    "ts-route-service",
+    "ts-route-plan-service",
+    "ts-travel-service",
+    "ts-travel2-service",
+    "ts-travel-plan-service",
+    "ts-ticketinfo-service",
+    "ts-basic-service",
+    "ts-order-service",
+    "ts-order-other-service",
+    "ts-price-service",
+    "ts-seat-service",
+    "ts-config-service",
+    "ts-contacts-service",
+    "ts-preserve-service",
+    "ts-preserve-other-service",
+    "ts-security-service",
+    "ts-inside-payment-service",
+    "ts-payment-service",
+    "ts-execute-service",
+    "ts-cancel-service",
+    "ts-rebook-service",
+    "ts-consign-service",
+    "ts-consign-price-service",
+    "ts-food-service",
+    "ts-food-map-service",
+    "ts-assurance-service",
+    "ts-notification-service",
+    "ts-news-service",
+    "ts-voucher-service",
+    "ts-admin-basic-info-service",
+    "ts-admin-order-service",
+    "ts-admin-route-service",
+    "ts-admin-travel-service",
+    "ts-admin-user-service",
+    "ts-avatar-service",
+    "ts-delivery-service",
+    "ts-gateway-service",
+    "ts-station-food-service",
+    "ts-wait-order-service",
+];
+
+/// Builds the TrainTicket application: 45 services and 10 APIs with deeper
+/// call chains than OnlineBoutique (matching the paper's description of
+/// synchronous REST plus asynchronous messaging).
+///
+/// ```
+/// let app = workload::train_ticket();
+/// assert_eq!(app.service_count(), 45);
+/// assert!(app.apis().len() >= 8);
+/// ```
+pub fn train_ticket() -> Application {
+    let mut builder = Application::builder("train-ticket");
+
+    // Table used for per-service DB attributes.
+    let table_of = |svc: &str| {
+        svc.trim_start_matches("ts-")
+            .trim_end_matches("-service")
+            .replace('-', "_")
+    };
+
+    // Each service gets a `query` operation with DB-ish attributes and an
+    // `update` operation; call edges are wired below for the main flows.
+    let mut services: Vec<ServiceSpec> = TRAIN_TICKET_SERVICES
+        .iter()
+        .map(|&name| {
+            let table = table_of(name);
+            ServiceSpec::new(name)
+                .operation(
+                    OperationSpec::new(format!("{}.query", table))
+                        .kind(SpanKind::Server)
+                        .latency(LatencyModel::new(300, 900))
+                        .attrs_from(db_attrs(&table))
+                        .attr(AttrTemplate::pattern(
+                            "code.function",
+                            &format!("{}.controller.query{{}}", table),
+                            [VarSlot::word(["ById", "All", "ByUser", "ByDate"])],
+                        )),
+                )
+                .operation(
+                    OperationSpec::new(format!("{}.update", table))
+                        .kind(SpanKind::Server)
+                        .latency(LatencyModel::new(450, 1_200))
+                        .attr(AttrTemplate::pattern(
+                            "db.statement",
+                            &format!(
+                                "UPDATE {table} SET status = {{}} WHERE id = {{}}"
+                            ),
+                            [VarSlot::number(0, 5), VarSlot::number(1, 2_000_000)],
+                        ))
+                        .attr(AttrTemplate::const_str("db.system", "mysql")),
+                )
+        })
+        .collect();
+
+    // Wire the principal request flows.  Helper to add calls to a service's
+    // named operation.
+    let mut add_calls = |service: &str, operation_suffix: &str, calls: Vec<(&str, &str)>| {
+        let table = table_of(service);
+        let op_name = format!("{}.{}", table, operation_suffix);
+        let svc = services
+            .iter_mut()
+            .find(|s| s.name == service)
+            .unwrap_or_else(|| panic!("unknown service {service}"));
+        let op = svc
+            .operations
+            .iter_mut()
+            .find(|o| o.name == op_name)
+            .unwrap_or_else(|| panic!("unknown operation {op_name}"));
+        for (svc_name, suffix) in calls {
+            op.calls.push(CallSpec::new(
+                svc_name,
+                format!("{}.{}", table_of(svc_name), suffix),
+            ));
+        }
+    };
+
+    // Dashboard -> gateway -> auth for every user flow.
+    add_calls("ts-ui-dashboard", "query", vec![("ts-gateway-service", "query")]);
+    add_calls(
+        "ts-gateway-service",
+        "query",
+        vec![("ts-auth-service", "query"), ("ts-verification-code-service", "query")],
+    );
+    add_calls("ts-auth-service", "query", vec![("ts-user-service", "query")]);
+
+    // Travel query flow.
+    add_calls(
+        "ts-travel-service",
+        "query",
+        vec![
+            ("ts-ticketinfo-service", "query"),
+            ("ts-route-service", "query"),
+            ("ts-train-service", "query"),
+            ("ts-seat-service", "query"),
+        ],
+    );
+    add_calls(
+        "ts-travel-plan-service",
+        "query",
+        vec![
+            ("ts-travel-service", "query"),
+            ("ts-travel2-service", "query"),
+            ("ts-route-plan-service", "query"),
+        ],
+    );
+    add_calls("ts-route-plan-service", "query", vec![("ts-route-service", "query")]);
+    add_calls("ts-ticketinfo-service", "query", vec![("ts-basic-service", "query")]);
+    add_calls(
+        "ts-basic-service",
+        "query",
+        vec![
+            ("ts-station-service", "query"),
+            ("ts-train-service", "query"),
+            ("ts-price-service", "query"),
+        ],
+    );
+    add_calls("ts-seat-service", "query", vec![("ts-config-service", "query"), ("ts-order-service", "query")]);
+    add_calls("ts-travel2-service", "query", vec![("ts-order-other-service", "query")]);
+
+    // Booking (preserve) flow.
+    add_calls(
+        "ts-preserve-service",
+        "update",
+        vec![
+            ("ts-security-service", "query"),
+            ("ts-contacts-service", "query"),
+            ("ts-travel-service", "query"),
+            ("ts-assurance-service", "query"),
+            ("ts-food-service", "query"),
+            ("ts-consign-service", "update"),
+            ("ts-order-service", "update"),
+            ("ts-notification-service", "update"),
+        ],
+    );
+    add_calls("ts-security-service", "query", vec![("ts-order-service", "query"), ("ts-order-other-service", "query")]);
+    add_calls("ts-food-service", "query", vec![("ts-food-map-service", "query"), ("ts-station-food-service", "query")]);
+    add_calls("ts-consign-service", "update", vec![("ts-consign-price-service", "query")]);
+    add_calls("ts-order-service", "update", vec![("ts-station-service", "query")]);
+
+    // Payment flow.
+    add_calls(
+        "ts-inside-payment-service",
+        "update",
+        vec![("ts-order-service", "query"), ("ts-payment-service", "update")],
+    );
+    add_calls("ts-execute-service", "update", vec![("ts-order-service", "update")]);
+
+    // Cancel / rebook flows.
+    add_calls(
+        "ts-cancel-service",
+        "update",
+        vec![
+            ("ts-order-service", "query"),
+            ("ts-order-other-service", "query"),
+            ("ts-inside-payment-service", "update"),
+            ("ts-notification-service", "update"),
+            ("ts-user-service", "query"),
+        ],
+    );
+    add_calls(
+        "ts-rebook-service",
+        "update",
+        vec![
+            ("ts-order-service", "query"),
+            ("ts-travel-service", "query"),
+            ("ts-seat-service", "query"),
+            ("ts-inside-payment-service", "update"),
+        ],
+    );
+
+    // Admin & misc flows.
+    add_calls("ts-admin-order-service", "query", vec![("ts-order-service", "query"), ("ts-order-other-service", "query")]);
+    add_calls("ts-admin-travel-service", "query", vec![("ts-travel-service", "query"), ("ts-travel2-service", "query")]);
+    add_calls("ts-admin-route-service", "query", vec![("ts-route-service", "query")]);
+    add_calls("ts-admin-user-service", "query", vec![("ts-user-service", "query")]);
+    add_calls("ts-admin-basic-info-service", "query", vec![("ts-basic-service", "query")]);
+    add_calls("ts-delivery-service", "update", vec![("ts-food-service", "query")]);
+    add_calls("ts-wait-order-service", "update", vec![("ts-order-service", "update"), ("ts-notification-service", "update")]);
+    add_calls("ts-news-service", "query", vec![]);
+    add_calls("ts-avatar-service", "query", vec![]);
+    add_calls("ts-voucher-service", "query", vec![("ts-order-service", "query")]);
+
+    for service in services {
+        builder = builder.service(service);
+    }
+
+    builder
+        .api("login", CallSpec::new("ts-ui-dashboard", "ui_dashboard.query"), 18.0)
+        .api("query-travel", CallSpec::new("ts-travel-plan-service", "travel_plan.query"), 25.0)
+        .api("query-ticket", CallSpec::new("ts-travel-service", "travel.query"), 20.0)
+        .api("book-ticket", CallSpec::new("ts-preserve-service", "preserve.update"), 12.0)
+        .api("pay", CallSpec::new("ts-inside-payment-service", "inside_payment.update"), 8.0)
+        .api("collect-ticket", CallSpec::new("ts-execute-service", "execute.update"), 5.0)
+        .api("cancel-order", CallSpec::new("ts-cancel-service", "cancel.update"), 4.0)
+        .api("rebook", CallSpec::new("ts-rebook-service", "rebook.update"), 3.0)
+        .api("consign", CallSpec::new("ts-consign-service", "consign.update"), 3.0)
+        .api("admin-orders", CallSpec::new("ts-admin-order-service", "admin_order.query"), 2.0)
+        .build()
+        .expect("train ticket topology is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{GeneratorConfig, TraceGenerator};
+
+    #[test]
+    fn online_boutique_has_ten_services() {
+        let app = online_boutique();
+        assert_eq!(app.service_count(), 10);
+        assert_eq!(app.apis().len(), 8);
+        assert_eq!(app.name(), "online-boutique");
+    }
+
+    #[test]
+    fn train_ticket_has_forty_five_services() {
+        let app = train_ticket();
+        assert_eq!(app.service_count(), 45);
+        assert_eq!(app.apis().len(), 10);
+    }
+
+    #[test]
+    fn checkout_traces_touch_many_services() {
+        let mut g = TraceGenerator::new(online_boutique(), GeneratorConfig::default());
+        let checkout_idx = online_boutique()
+            .apis()
+            .iter()
+            .position(|a| a.name == "checkout")
+            .unwrap();
+        let trace = g.generate_for_api(checkout_idx);
+        assert!(trace.services().len() >= 7, "services {:?}", trace.services());
+        assert!(trace.depth() >= 3);
+    }
+
+    #[test]
+    fn train_ticket_booking_is_deep() {
+        let app = train_ticket();
+        let mut g = TraceGenerator::new(app.clone(), GeneratorConfig::default());
+        let book_idx = app.apis().iter().position(|a| a.name == "book-ticket").unwrap();
+        let trace = g.generate_for_api(book_idx);
+        assert!(trace.len() >= 10, "span count {}", trace.len());
+        assert!(trace.depth() >= 4, "depth {}", trace.depth());
+    }
+
+    #[test]
+    fn all_apis_generate_coherent_traces() {
+        for app in [online_boutique(), train_ticket()] {
+            let mut g = TraceGenerator::new(app.clone(), GeneratorConfig::default());
+            for i in 0..app.apis().len() {
+                let trace = g.generate_for_api(i);
+                assert!(trace.is_coherent(), "{} api {i}", app.name());
+            }
+        }
+    }
+
+    #[test]
+    fn spans_carry_template_attributes() {
+        let mut g = TraceGenerator::new(online_boutique(), GeneratorConfig::default());
+        let traces = g.generate(20);
+        let mut saw_sql = false;
+        let mut saw_url = false;
+        for trace in &traces {
+            for span in trace.spans() {
+                if span.attributes().contains_key("db.statement") {
+                    saw_sql = true;
+                }
+                if span.attributes().contains_key("http.url") {
+                    saw_url = true;
+                }
+            }
+        }
+        assert!(saw_sql && saw_url);
+    }
+}

@@ -1,0 +1,352 @@
+//! Attribute templates.
+//!
+//! Span attributes in real systems originate from instrumentation statements
+//! such as `span.set_attribute("sql", f"INSERT INTO {table} ({cols})")`
+//! (Fig. 4 of the paper): a constant skeleton with variable parameters.  The
+//! templates here mirror that structure so that generated trace data exhibits
+//! the inter-span commonality Mint's span parser is designed to discover.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use trace_model::AttrValue;
+
+/// A variable slot inside a string pattern.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum VarSlot {
+    /// One token chosen from a small vocabulary (table names, host names…).
+    Word(Vec<String>),
+    /// A decimal integer drawn uniformly from `[min, max]`.
+    Number {
+        /// Inclusive lower bound.
+        min: i64,
+        /// Inclusive upper bound.
+        max: i64,
+    },
+    /// A lowercase hexadecimal identifier of `len` characters (user ids,
+    /// session ids, request ids…).
+    HexId {
+        /// Number of hexadecimal characters.
+        len: usize,
+    },
+}
+
+impl VarSlot {
+    /// Convenience constructor for a word vocabulary.
+    pub fn word<S: Into<String>>(choices: impl IntoIterator<Item = S>) -> Self {
+        VarSlot::Word(choices.into_iter().map(Into::into).collect())
+    }
+
+    /// Convenience constructor for a numeric slot.
+    pub fn number(min: i64, max: i64) -> Self {
+        VarSlot::Number { min, max }
+    }
+
+    /// Convenience constructor for a hexadecimal identifier slot.
+    pub fn hex_id(len: usize) -> Self {
+        VarSlot::HexId { len }
+    }
+
+    /// Renders one concrete value for this slot.
+    pub fn render<R: Rng + ?Sized>(&self, rng: &mut R) -> String {
+        match self {
+            VarSlot::Word(choices) => {
+                if choices.is_empty() {
+                    String::new()
+                } else {
+                    choices[rng.gen_range(0..choices.len())].clone()
+                }
+            }
+            VarSlot::Number { min, max } => rng.gen_range(*min..=*max).to_string(),
+            VarSlot::HexId { len } => {
+                const HEX: &[u8] = b"0123456789abcdef";
+                (0..*len)
+                    .map(|_| HEX[rng.gen_range(0..16)] as char)
+                    .collect()
+            }
+        }
+    }
+}
+
+/// How the value of an attribute is produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ValueTemplate {
+    /// A constant string (e.g. an HTTP method).
+    ConstStr(String),
+    /// A constant integer (e.g. a port number).
+    ConstInt(i64),
+    /// A string skeleton with `{}` placeholders filled from `slots`.
+    ///
+    /// `parts` has exactly `slots.len() + 1` elements; the rendered value is
+    /// `parts[0] + slot[0] + parts[1] + slot[1] + … + parts[n]`.
+    Pattern {
+        /// Constant fragments between variable slots.
+        parts: Vec<String>,
+        /// The variable slots.
+        slots: Vec<VarSlot>,
+    },
+    /// One string chosen from a fixed set (e.g. status strings).
+    ChoiceStr(Vec<String>),
+    /// An integer drawn uniformly from `[min, max]`.
+    IntRange {
+        /// Inclusive lower bound.
+        min: i64,
+        /// Inclusive upper bound.
+        max: i64,
+    },
+    /// A float drawn uniformly from `[min, max)`.
+    FloatRange {
+        /// Lower bound.
+        min: f64,
+        /// Upper bound.
+        max: f64,
+    },
+}
+
+impl ValueTemplate {
+    /// Generates a concrete attribute value.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> AttrValue {
+        match self {
+            ValueTemplate::ConstStr(s) => AttrValue::Str(s.clone()),
+            ValueTemplate::ConstInt(i) => AttrValue::Int(*i),
+            ValueTemplate::Pattern { parts, slots } => {
+                let mut out = String::with_capacity(32);
+                for (i, part) in parts.iter().enumerate() {
+                    out.push_str(part);
+                    if i < slots.len() {
+                        out.push_str(&slots[i].render(rng));
+                    }
+                }
+                AttrValue::Str(out)
+            }
+            ValueTemplate::ChoiceStr(choices) => {
+                if choices.is_empty() {
+                    AttrValue::Str(String::new())
+                } else {
+                    AttrValue::Str(choices[rng.gen_range(0..choices.len())].clone())
+                }
+            }
+            ValueTemplate::IntRange { min, max } => AttrValue::Int(rng.gen_range(*min..=*max)),
+            ValueTemplate::FloatRange { min, max } => {
+                AttrValue::Float(rng.gen_range(*min..*max))
+            }
+        }
+    }
+}
+
+/// A key plus a value template: evaluated once per span occurrence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttrTemplate {
+    /// The attribute key.
+    pub key: String,
+    /// The template producing the value.
+    pub template: ValueTemplate,
+}
+
+impl AttrTemplate {
+    /// A constant string attribute.
+    pub fn const_str(key: impl Into<String>, value: impl Into<String>) -> Self {
+        AttrTemplate {
+            key: key.into(),
+            template: ValueTemplate::ConstStr(value.into()),
+        }
+    }
+
+    /// A constant integer attribute.
+    pub fn const_int(key: impl Into<String>, value: i64) -> Self {
+        AttrTemplate {
+            key: key.into(),
+            template: ValueTemplate::ConstInt(value),
+        }
+    }
+
+    /// A choice attribute: one of the given strings.
+    pub fn choice<S: Into<String>>(
+        key: impl Into<String>,
+        choices: impl IntoIterator<Item = S>,
+    ) -> Self {
+        AttrTemplate {
+            key: key.into(),
+            template: ValueTemplate::ChoiceStr(choices.into_iter().map(Into::into).collect()),
+        }
+    }
+
+    /// A uniform integer attribute.
+    pub fn int_range(key: impl Into<String>, min: i64, max: i64) -> Self {
+        AttrTemplate {
+            key: key.into(),
+            template: ValueTemplate::IntRange { min, max },
+        }
+    }
+
+    /// A uniform float attribute.
+    pub fn float_range(key: impl Into<String>, min: f64, max: f64) -> Self {
+        AttrTemplate {
+            key: key.into(),
+            template: ValueTemplate::FloatRange { min, max },
+        }
+    }
+
+    /// A string-pattern attribute.  `skeleton` contains `{}` placeholders
+    /// that are filled from `slots` in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of `{}` placeholders differs from `slots.len()`.
+    pub fn pattern(
+        key: impl Into<String>,
+        skeleton: &str,
+        slots: impl IntoIterator<Item = VarSlot>,
+    ) -> Self {
+        let parts: Vec<String> = skeleton.split("{}").map(str::to_owned).collect();
+        let slots: Vec<VarSlot> = slots.into_iter().collect();
+        assert_eq!(
+            parts.len(),
+            slots.len() + 1,
+            "placeholder count must equal slot count"
+        );
+        AttrTemplate {
+            key: key.into(),
+            template: ValueTemplate::Pattern { parts, slots },
+        }
+    }
+
+    /// Generates the `(key, value)` pair.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> (String, AttrValue) {
+        (self.key.clone(), self.template.generate(rng))
+    }
+}
+
+/// A ready-made SQL query attribute template over the given tables, mirroring
+/// the `sql.query` attributes the paper shows in its figures.
+pub fn sql_template(key: &str, tables: &[&str]) -> AttrTemplate {
+    AttrTemplate::pattern(
+        key,
+        "SELECT * FROM {} WHERE id = {}",
+        [
+            VarSlot::word(tables.iter().copied().map(str::to_owned)),
+            VarSlot::number(1, 1_000_000),
+        ],
+    )
+}
+
+/// A ready-made URL attribute template (`/v1/<resource>/user=<id>`).
+pub fn url_template(key: &str, resources: &[&str]) -> AttrTemplate {
+    AttrTemplate::pattern(
+        key,
+        "/v1/{}/user={}",
+        [
+            VarSlot::word(resources.iter().copied().map(str::to_owned)),
+            VarSlot::hex_id(8),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn const_templates_are_constant() {
+        let mut rng = rng();
+        let t = AttrTemplate::const_str("http.method", "POST");
+        for _ in 0..5 {
+            assert_eq!(t.generate(&mut rng).1, AttrValue::str("POST"));
+        }
+        let i = AttrTemplate::const_int("net.port", 8080);
+        assert_eq!(i.generate(&mut rng).1, AttrValue::Int(8080));
+    }
+
+    #[test]
+    fn pattern_preserves_skeleton() {
+        let mut rng = rng();
+        let t = AttrTemplate::pattern(
+            "sql.query",
+            "select * from {} where id = {}",
+            [VarSlot::word(["orders", "users"]), VarSlot::number(1, 9)],
+        );
+        for _ in 0..20 {
+            let value = t.generate(&mut rng).1;
+            let s = value.as_str().unwrap();
+            assert!(s.starts_with("select * from "));
+            assert!(s.contains(" where id = "));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "placeholder count")]
+    fn pattern_slot_mismatch_panics() {
+        AttrTemplate::pattern("k", "a {} b {}", [VarSlot::number(0, 1)]);
+    }
+
+    #[test]
+    fn numeric_ranges_respect_bounds() {
+        let mut rng = rng();
+        let t = AttrTemplate::int_range("rows", 5, 10);
+        for _ in 0..50 {
+            let v = t.generate(&mut rng).1.as_i64().unwrap();
+            assert!((5..=10).contains(&v));
+        }
+        let f = AttrTemplate::float_range("ratio", 0.0, 1.0);
+        for _ in 0..50 {
+            let v = f.generate(&mut rng).1.as_f64().unwrap();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn choice_picks_from_set() {
+        let mut rng = rng();
+        let t = AttrTemplate::choice("status", ["ok", "degraded"]);
+        for _ in 0..20 {
+            let v = t.generate(&mut rng).1;
+            assert!(matches!(v.as_str().unwrap(), "ok" | "degraded"));
+        }
+    }
+
+    #[test]
+    fn hex_id_has_requested_length() {
+        let mut rng = rng();
+        let slot = VarSlot::hex_id(12);
+        let rendered = slot.render(&mut rng);
+        assert_eq!(rendered.len(), 12);
+        assert!(rendered.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn empty_vocab_renders_empty() {
+        let mut rng = rng();
+        assert_eq!(VarSlot::Word(vec![]).render(&mut rng), "");
+        let t = ValueTemplate::ChoiceStr(vec![]);
+        assert_eq!(t.generate(&mut rng), AttrValue::str(""));
+    }
+
+    #[test]
+    fn ready_made_templates_have_expected_shape() {
+        let mut rng = rng();
+        let sql = sql_template("db.sql", &["patch_inventory", "orders"]);
+        let value = sql.generate(&mut rng).1;
+        assert!(value.as_str().unwrap().starts_with("SELECT * FROM "));
+        let url = url_template("http.url", &["campus", "cart"]);
+        let value = url.generate(&mut rng).1;
+        assert!(value.as_str().unwrap().starts_with("/v1/"));
+        assert!(value.as_str().unwrap().contains("/user="));
+    }
+
+    #[test]
+    fn same_seed_same_output() {
+        let t = AttrTemplate::pattern(
+            "k",
+            "x={} y={}",
+            [VarSlot::number(0, 1000), VarSlot::hex_id(6)],
+        );
+        let mut a = SmallRng::seed_from_u64(9);
+        let mut b = SmallRng::seed_from_u64(9);
+        assert_eq!(t.generate(&mut a), t.generate(&mut b));
+    }
+}

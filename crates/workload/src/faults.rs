@@ -1,0 +1,285 @@
+//! Fault injection for the root-cause-analysis experiments (Table 2/3).
+//!
+//! The paper uses Chaosblade to inject 56 faults of five types into the
+//! OnlineBoutique and TrainTicket benchmarks.  Here, faults are injected
+//! directly into already-generated traces: a fault targets one service and
+//! perturbs the spans of that service in a way characteristic of the fault
+//! type (latency inflation for resource exhaustion and network delays, error
+//! statuses and exception events for code exceptions and error returns).
+//! The injector records the ground-truth root-cause service for scoring.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use trace_model::{AttrValue, SpanStatus, Trace, TraceSet};
+
+/// The five fault types of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultType {
+    /// CPU exhaustion on the target service: large latency inflation.
+    CpuExhaustion,
+    /// Memory exhaustion: latency inflation plus occasional errors.
+    MemoryExhaustion,
+    /// Network delay between the target and its callers: moderate latency
+    /// inflation on the target's spans.
+    NetworkDelay,
+    /// Code exception: error status and an exception event on the target.
+    CodeException,
+    /// Error return: error status with an HTTP 5xx status code.
+    ErrorReturn,
+}
+
+impl FaultType {
+    /// All fault types, in a stable order.
+    pub const ALL: [FaultType; 5] = [
+        FaultType::CpuExhaustion,
+        FaultType::MemoryExhaustion,
+        FaultType::NetworkDelay,
+        FaultType::CodeException,
+        FaultType::ErrorReturn,
+    ];
+
+    /// A human-readable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultType::CpuExhaustion => "cpu-exhaustion",
+            FaultType::MemoryExhaustion => "memory-exhaustion",
+            FaultType::NetworkDelay => "network-delay",
+            FaultType::CodeException => "code-exception",
+            FaultType::ErrorReturn => "error-return",
+        }
+    }
+
+    /// Whether this fault primarily manifests as latency (rather than
+    /// explicit errors).
+    pub fn is_latency_fault(&self) -> bool {
+        matches!(
+            self,
+            FaultType::CpuExhaustion | FaultType::MemoryExhaustion | FaultType::NetworkDelay
+        )
+    }
+}
+
+/// A record of one injected fault: what was injected and where.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultRecord {
+    /// The fault type.
+    pub fault_type: FaultType,
+    /// The ground-truth root-cause service.
+    pub target_service: String,
+    /// Number of traces that were affected by the injection.
+    pub affected_traces: usize,
+}
+
+/// Injects faults into generated traces.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    rng: SmallRng,
+    /// Fraction of traces passing through the target service that are
+    /// perturbed.
+    pub impact_ratio: f64,
+    /// Latency multiplier applied by latency faults.
+    pub latency_factor: u64,
+}
+
+impl FaultInjector {
+    /// Creates an injector with the given seed and default parameters
+    /// (80% of traces through the target affected, 10× latency inflation).
+    pub fn new(seed: u64) -> Self {
+        FaultInjector {
+            rng: SmallRng::seed_from_u64(seed),
+            impact_ratio: 0.8,
+            latency_factor: 10,
+        }
+    }
+
+    /// Injects `fault_type` at `target_service` into every trace of `traces`
+    /// that passes through the target (subject to the impact ratio).
+    ///
+    /// Returns the fault record with the number of affected traces.
+    pub fn inject(
+        &mut self,
+        traces: &mut TraceSet,
+        fault_type: FaultType,
+        target_service: &str,
+    ) -> FaultRecord {
+        let mut affected = 0;
+        // TraceSet does not expose mutable iteration; rebuild it.
+        let rebuilt: Vec<Trace> = std::mem::take(traces)
+            .into_iter()
+            .map(|mut trace| {
+                let passes_through = trace.services().contains(target_service);
+                if passes_through && self.rng.gen_bool(self.impact_ratio) {
+                    self.perturb(&mut trace, fault_type, target_service);
+                    affected += 1;
+                }
+                trace
+            })
+            .collect();
+        traces.extend(rebuilt);
+        FaultRecord {
+            fault_type,
+            target_service: target_service.to_owned(),
+            affected_traces: affected,
+        }
+    }
+
+    fn perturb(&mut self, trace: &mut Trace, fault_type: FaultType, target: &str) {
+        let factor = self.latency_factor;
+        for span in trace.spans_mut() {
+            if span.service() != target {
+                continue;
+            }
+            match fault_type {
+                FaultType::CpuExhaustion => {
+                    span.set_duration_us(span.duration_us().saturating_mul(factor));
+                    span.attributes_mut()
+                        .insert("resource.cpu.utilization", AttrValue::Float(0.99));
+                }
+                FaultType::MemoryExhaustion => {
+                    span.set_duration_us(span.duration_us().saturating_mul(factor / 2 + 1));
+                    span.attributes_mut()
+                        .insert("resource.memory.utilization", AttrValue::Float(0.97));
+                    if self.rng.gen_bool(0.3) {
+                        span.set_status(SpanStatus::Error);
+                        span.attributes_mut().insert(
+                            "event.exception",
+                            AttrValue::str("java.lang.OutOfMemoryError: Java heap space"),
+                        );
+                    }
+                }
+                FaultType::NetworkDelay => {
+                    span.set_duration_us(span.duration_us().saturating_mul(factor / 2 + 2));
+                    span.attributes_mut()
+                        .insert("net.delay_injected_ms", AttrValue::Int(300));
+                }
+                FaultType::CodeException => {
+                    span.set_status(SpanStatus::Error);
+                    span.attributes_mut().insert(
+                        "event.exception",
+                        AttrValue::str("java.lang.NullPointerException at Handler.invoke"),
+                    );
+                }
+                FaultType::ErrorReturn => {
+                    span.set_status(SpanStatus::Error);
+                    span.attributes_mut()
+                        .insert("http.status_code", AttrValue::Int(500));
+                }
+            }
+        }
+        // Latency faults propagate upward: the root also slows down, since
+        // parents wait on the slow child.
+        if fault_type.is_latency_fault() {
+            let extra: u64 = trace
+                .spans()
+                .iter()
+                .filter(|s| s.service() == target)
+                .map(|s| s.duration_us())
+                .sum();
+            let root_id = trace.root().map(|r| r.span_id());
+            if let Some(root_id) = root_id {
+                for span in trace.spans_mut() {
+                    if span.span_id() == root_id {
+                        span.set_duration_us(span.duration_us().saturating_add(extra));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::online_boutique;
+    use crate::generator::{GeneratorConfig, TraceGenerator};
+
+    fn workload() -> TraceSet {
+        let config = GeneratorConfig::default().with_seed(77).with_abnormal_rate(0.0);
+        TraceGenerator::new(online_boutique(), config).generate(200)
+    }
+
+    #[test]
+    fn injection_affects_only_target_service_traces() {
+        let mut traces = workload();
+        let baseline = traces.clone();
+        let mut injector = FaultInjector::new(1);
+        injector.impact_ratio = 1.0;
+        let record = injector.inject(&mut traces, FaultType::CodeException, "paymentservice");
+        assert_eq!(record.target_service, "paymentservice");
+        assert!(record.affected_traces > 0);
+        let through_payment = baseline
+            .iter()
+            .filter(|t| t.services().contains("paymentservice"))
+            .count();
+        assert_eq!(record.affected_traces, through_payment);
+        // Traces not passing through the payment service are untouched.
+        for (before, after) in baseline.iter().zip(traces.iter()) {
+            if !before.services().contains("paymentservice") {
+                assert_eq!(before, after);
+            }
+        }
+    }
+
+    #[test]
+    fn error_faults_set_error_status_on_target() {
+        let mut traces = workload();
+        let mut injector = FaultInjector::new(2);
+        injector.impact_ratio = 1.0;
+        injector.inject(&mut traces, FaultType::ErrorReturn, "cartservice");
+        let errored = traces.iter().filter(|t| {
+            t.spans()
+                .iter()
+                .any(|s| s.service() == "cartservice" && s.status().is_error())
+        });
+        assert!(errored.count() > 0);
+    }
+
+    #[test]
+    fn latency_faults_inflate_duration() {
+        let mut traces = workload();
+        let baseline = traces.clone();
+        let mut injector = FaultInjector::new(3);
+        injector.impact_ratio = 1.0;
+        injector.inject(&mut traces, FaultType::CpuExhaustion, "currencyservice");
+        let mean = |set: &TraceSet| {
+            let durations: Vec<f64> = set
+                .iter()
+                .filter(|t| t.services().contains("currencyservice"))
+                .map(|t| t.duration_us() as f64)
+                .collect();
+            durations.iter().sum::<f64>() / durations.len().max(1) as f64
+        };
+        assert!(mean(&traces) > 1.3 * mean(&baseline));
+    }
+
+    #[test]
+    fn impact_ratio_limits_blast_radius() {
+        let mut traces = workload();
+        let mut injector = FaultInjector::new(4);
+        injector.impact_ratio = 0.2;
+        let record = injector.inject(&mut traces, FaultType::NetworkDelay, "frontend");
+        let through_frontend = traces
+            .iter()
+            .filter(|t| t.services().contains("frontend"))
+            .count();
+        assert!(record.affected_traces < through_frontend);
+        assert!(record.affected_traces > 0);
+    }
+
+    #[test]
+    fn fault_type_metadata() {
+        assert_eq!(FaultType::ALL.len(), 5);
+        assert!(FaultType::CpuExhaustion.is_latency_fault());
+        assert!(!FaultType::ErrorReturn.is_latency_fault());
+        assert_eq!(FaultType::CodeException.label(), "code-exception");
+    }
+
+    #[test]
+    fn trace_count_is_preserved() {
+        let mut traces = workload();
+        let before = traces.len();
+        FaultInjector::new(5).inject(&mut traces, FaultType::MemoryExhaustion, "adservice");
+        assert_eq!(traces.len(), before);
+    }
+}

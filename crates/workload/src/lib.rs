@@ -1,0 +1,60 @@
+//! Deterministic microservice workload simulators.
+//!
+//! The Mint paper evaluates on two open-source microservice benchmarks
+//! (OnlineBoutique, TrainTicket) deployed on Kubernetes and on Alibaba
+//! production systems.  Neither is available to this reproduction, so this
+//! crate provides *simulators* that generate distributed traces with the same
+//! structural characteristics those systems exhibit:
+//!
+//! * a fixed service graph per application (10 services for OnlineBoutique,
+//!   45 for TrainTicket, configurable for the Alibaba-style datasets);
+//! * a small set of request APIs, each walking a deterministic call tree
+//!   through the graph;
+//! * span attributes drawn from *templates* (SQL statements, URLs, RPC
+//!   function names) whose constant skeleton repeats across requests while
+//!   parameters vary — exactly the commonality/variability structure Mint
+//!   exploits;
+//! * optional abnormal-request tagging and fault injection used by the
+//!   sampling and root-cause-analysis experiments.
+//!
+//! Everything is seeded, so every experiment run is reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use workload::{online_boutique, TraceGenerator, GeneratorConfig};
+//!
+//! let app = online_boutique();
+//! let mut generator = TraceGenerator::new(app, GeneratorConfig::default().with_seed(7));
+//! let traces = generator.generate(100);
+//! assert_eq!(traces.len(), 100);
+//! assert!(traces.span_count() > 300);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod alibaba;
+mod apps;
+mod attrs;
+mod faults;
+mod generator;
+mod loadtest;
+mod queries;
+mod topology;
+
+pub use alibaba::{
+    alibaba_dataset, alibaba_sub_service, daily_volume_model, layered_application,
+    top_service_overhead_model, DatasetSpec, ServiceOverhead, SubServiceSpec, ALIBABA_DATASETS,
+    ALIBABA_SUB_SERVICES,
+};
+pub use apps::{online_boutique, train_ticket};
+pub use attrs::{sql_template, url_template, AttrTemplate, ValueTemplate, VarSlot};
+pub use faults::{FaultInjector, FaultRecord, FaultType};
+pub use generator::{GeneratorConfig, TraceGenerator};
+pub use loadtest::{load_test_plan, LoadTestSpec};
+pub use queries::{QueryWorkload, QueryWorkloadConfig};
+pub use topology::{
+    ApiSpec, Application, ApplicationBuilder, CallSpec, LatencyModel, OperationSpec, ServiceSpec,
+    TopologyError,
+};

@@ -1,0 +1,181 @@
+//! User trace-query workloads.
+//!
+//! The paper's §2.2.2 observes that which traces SREs later query is
+//! unpredictable at generation time: over 30 days roughly 27% of queried
+//! traces had been dropped by sampling.  This module models that behaviour:
+//! given the set of traces a system produced, it draws the trace ids users
+//! query each day — a mix of abnormal traces (which biased samplers tend to
+//! keep) and perfectly ordinary traces that nevertheless become interesting
+//! after the fact (which '1 or 0' samplers have already discarded).
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use trace_model::{TraceId, TraceSet};
+
+/// Configuration of the query workload model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryWorkloadConfig {
+    /// Number of days of query activity to model.
+    pub days: usize,
+    /// Number of trace queries issued per day.
+    pub queries_per_day: usize,
+    /// Fraction of queries that target abnormal traces (the rest target
+    /// arbitrary, mostly-normal traces).
+    pub abnormal_bias: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for QueryWorkloadConfig {
+    fn default() -> Self {
+        QueryWorkloadConfig {
+            days: 14,
+            queries_per_day: 250,
+            abnormal_bias: 0.35,
+            seed: 0x9E3779B9,
+        }
+    }
+}
+
+/// A generated query workload: one list of queried trace ids per day.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryWorkload {
+    daily_queries: Vec<Vec<TraceId>>,
+}
+
+impl QueryWorkload {
+    /// Draws a query workload over the traces in `traces`.
+    ///
+    /// Abnormal traces (those whose root span carries `is_abnormal = true`
+    /// or that contain an error span) are queried with probability
+    /// `abnormal_bias`; the remaining queries hit uniformly random traces.
+    pub fn generate(traces: &TraceSet, config: &QueryWorkloadConfig) -> Self {
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let mut abnormal = Vec::new();
+        let mut normal = Vec::new();
+        for trace in traces {
+            let is_abnormal = trace
+                .root()
+                .and_then(|r| r.attributes().get("is_abnormal"))
+                .and_then(|v| v.as_bool())
+                .unwrap_or(false)
+                || trace.has_error();
+            if is_abnormal {
+                abnormal.push(trace.trace_id());
+            } else {
+                normal.push(trace.trace_id());
+            }
+        }
+
+        let daily_queries = (0..config.days)
+            .map(|_| {
+                (0..config.queries_per_day)
+                    .map(|_| {
+                        let use_abnormal = !abnormal.is_empty()
+                            && (normal.is_empty() || rng.gen_bool(config.abnormal_bias));
+                        if use_abnormal {
+                            *abnormal.choose(&mut rng).expect("non-empty")
+                        } else if !normal.is_empty() {
+                            *normal.choose(&mut rng).expect("non-empty")
+                        } else {
+                            TraceId::INVALID
+                        }
+                    })
+                    .filter(|id| id.is_valid())
+                    .collect()
+            })
+            .collect();
+        QueryWorkload { daily_queries }
+    }
+
+    /// The queries issued on `day` (0-based).
+    pub fn day(&self, day: usize) -> &[TraceId] {
+        &self.daily_queries[day]
+    }
+
+    /// Number of days in the workload.
+    pub fn days(&self) -> usize {
+        self.daily_queries.len()
+    }
+
+    /// Iterates over `(day_index, queries)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &[TraceId])> {
+        self.daily_queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| (i, q.as_slice()))
+    }
+
+    /// Total number of queries across all days.
+    pub fn total_queries(&self) -> usize {
+        self.daily_queries.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::online_boutique;
+    use crate::generator::{GeneratorConfig, TraceGenerator};
+
+    fn traces() -> TraceSet {
+        let config = GeneratorConfig::default().with_seed(5).with_abnormal_rate(0.1);
+        TraceGenerator::new(online_boutique(), config).generate(400)
+    }
+
+    #[test]
+    fn workload_has_requested_shape() {
+        let traces = traces();
+        let config = QueryWorkloadConfig {
+            days: 7,
+            queries_per_day: 50,
+            ..QueryWorkloadConfig::default()
+        };
+        let workload = QueryWorkload::generate(&traces, &config);
+        assert_eq!(workload.days(), 7);
+        assert_eq!(workload.total_queries(), 7 * 50);
+        assert_eq!(workload.day(0).len(), 50);
+        assert_eq!(workload.iter().count(), 7);
+    }
+
+    #[test]
+    fn queries_reference_existing_traces() {
+        let traces = traces();
+        let workload = QueryWorkload::generate(&traces, &QueryWorkloadConfig::default());
+        for (_, queries) in workload.iter() {
+            for id in queries {
+                assert!(traces.get(*id).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn workload_mixes_normal_and_abnormal_targets() {
+        let traces = traces();
+        let workload = QueryWorkload::generate(&traces, &QueryWorkloadConfig::default());
+        let is_abnormal = |id: &TraceId| {
+            let trace = traces.get(*id).unwrap();
+            trace
+                .root()
+                .and_then(|r| r.attributes().get("is_abnormal"))
+                .and_then(|v| v.as_bool())
+                .unwrap_or(false)
+                || trace.has_error()
+        };
+        let all: Vec<TraceId> = workload.iter().flat_map(|(_, q)| q.to_vec()).collect();
+        let abnormal_count = all.iter().filter(|id| is_abnormal(id)).count();
+        assert!(abnormal_count > 0);
+        assert!(abnormal_count < all.len());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let traces = traces();
+        let config = QueryWorkloadConfig::default();
+        let a = QueryWorkload::generate(&traces, &config);
+        let b = QueryWorkload::generate(&traces, &config);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,538 @@
+//! Service-graph topology descriptions.
+//!
+//! An [`Application`] is a static description of a microservice system: the
+//! services it is composed of, the operations each service exposes, the
+//! downstream calls each operation makes and the request APIs that enter the
+//! system.  The [`crate::TraceGenerator`] walks this description to produce
+//! traces.
+
+use crate::attrs::AttrTemplate;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::error::Error;
+use std::fmt;
+use trace_model::SpanKind;
+
+/// A simple latency model: a base latency plus uniform jitter.
+///
+/// The absolute values only matter for relative comparisons (latency-based
+/// samplers, RCA features), so a uniform jitter is sufficient.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// Minimum duration of the operation, in microseconds.
+    pub base_us: u64,
+    /// Maximum additional uniform jitter, in microseconds.
+    pub jitter_us: u64,
+}
+
+impl LatencyModel {
+    /// Creates a latency model.
+    pub const fn new(base_us: u64, jitter_us: u64) -> Self {
+        LatencyModel { base_us, jitter_us }
+    }
+
+    /// Samples a duration.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.jitter_us == 0 {
+            self.base_us
+        } else {
+            self.base_us + rng.gen_range(0..=self.jitter_us)
+        }
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::new(500, 1_500)
+    }
+}
+
+/// A downstream call made by an operation: `service` / `operation` by name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CallSpec {
+    /// Target service name.
+    pub service: String,
+    /// Target operation name within the service.
+    pub operation: String,
+}
+
+impl CallSpec {
+    /// Creates a call spec.
+    pub fn new(service: impl Into<String>, operation: impl Into<String>) -> Self {
+        CallSpec {
+            service: service.into(),
+            operation: operation.into(),
+        }
+    }
+}
+
+/// One operation (endpoint / handler) exposed by a service.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OperationSpec {
+    /// Operation name (the span name).
+    pub name: String,
+    /// Span kind assigned to spans of this operation.
+    pub kind: SpanKind,
+    /// Latency model for the local work of this operation.
+    pub latency: LatencyModel,
+    /// Attribute templates evaluated for each span of this operation.
+    pub attrs: Vec<AttrTemplate>,
+    /// Downstream operations called synchronously by this operation.
+    pub calls: Vec<CallSpec>,
+}
+
+impl OperationSpec {
+    /// Creates an operation with default latency and no calls/attributes.
+    pub fn new(name: impl Into<String>) -> Self {
+        OperationSpec {
+            name: name.into(),
+            kind: SpanKind::Server,
+            latency: LatencyModel::default(),
+            attrs: Vec::new(),
+            calls: Vec::new(),
+        }
+    }
+
+    /// Sets the span kind.
+    pub fn kind(mut self, kind: SpanKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Sets the latency model.
+    pub fn latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Adds an attribute template.
+    pub fn attr(mut self, template: AttrTemplate) -> Self {
+        self.attrs.push(template);
+        self
+    }
+
+    /// Adds a downstream call.
+    pub fn call(mut self, service: impl Into<String>, operation: impl Into<String>) -> Self {
+        self.calls.push(CallSpec::new(service, operation));
+        self
+    }
+}
+
+/// A service: a named collection of operations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceSpec {
+    /// Service name.
+    pub name: String,
+    /// Operations exposed by this service.
+    pub operations: Vec<OperationSpec>,
+}
+
+impl ServiceSpec {
+    /// Creates a service with no operations.
+    pub fn new(name: impl Into<String>) -> Self {
+        ServiceSpec {
+            name: name.into(),
+            operations: Vec::new(),
+        }
+    }
+
+    /// Adds an operation.
+    pub fn operation(mut self, op: OperationSpec) -> Self {
+        self.operations.push(op);
+        self
+    }
+
+    /// Looks up an operation by name.
+    pub fn find_operation(&self, name: &str) -> Option<&OperationSpec> {
+        self.operations.iter().find(|op| op.name == name)
+    }
+}
+
+/// A request API: the externally visible entry point of a request type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApiSpec {
+    /// API name (e.g. `GET /product`).
+    pub name: String,
+    /// The entry operation the request hits first.
+    pub entry: CallSpec,
+    /// Relative popularity weight of this API in the generated traffic.
+    pub weight: f64,
+}
+
+impl ApiSpec {
+    /// Creates an API spec.
+    pub fn new(name: impl Into<String>, entry: CallSpec, weight: f64) -> Self {
+        ApiSpec {
+            name: name.into(),
+            entry,
+            weight,
+        }
+    }
+}
+
+/// Errors detected when validating an [`Application`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// A call or API referenced a service that does not exist.
+    UnknownService(String),
+    /// A call or API referenced an operation that does not exist.
+    UnknownOperation {
+        /// Service that was expected to expose the operation.
+        service: String,
+        /// The missing operation name.
+        operation: String,
+    },
+    /// The call graph contains a cycle, which would make traces unbounded.
+    CyclicCallGraph {
+        /// A service/operation on the cycle.
+        service: String,
+        /// The operation on the cycle.
+        operation: String,
+    },
+    /// The application defines no APIs.
+    NoApis,
+    /// An API has a non-positive weight.
+    InvalidWeight(String),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::UnknownService(s) => write!(f, "unknown service `{s}`"),
+            TopologyError::UnknownOperation { service, operation } => {
+                write!(f, "unknown operation `{operation}` on service `{service}`")
+            }
+            TopologyError::CyclicCallGraph { service, operation } => {
+                write!(f, "cyclic call graph through `{service}/{operation}`")
+            }
+            TopologyError::NoApis => write!(f, "application defines no request APIs"),
+            TopologyError::InvalidWeight(api) => {
+                write!(f, "api `{api}` has a non-positive weight")
+            }
+        }
+    }
+}
+
+impl Error for TopologyError {}
+
+/// A complete application description: services, operations and APIs.
+///
+/// Use [`Application::builder`] to construct one; the builder validates the
+/// call graph (all references resolve, no cycles) before handing out an
+/// `Application`, so a constructed value is always safe to generate from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Application {
+    name: String,
+    services: Vec<ServiceSpec>,
+    apis: Vec<ApiSpec>,
+    #[serde(skip)]
+    service_index: HashMap<String, usize>,
+}
+
+impl Application {
+    /// Starts building an application.
+    pub fn builder(name: impl Into<String>) -> ApplicationBuilder {
+        ApplicationBuilder {
+            name: name.into(),
+            services: Vec::new(),
+            apis: Vec::new(),
+        }
+    }
+
+    /// The application name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The services of the application.
+    pub fn services(&self) -> &[ServiceSpec] {
+        &self.services
+    }
+
+    /// The request APIs of the application.
+    pub fn apis(&self) -> &[ApiSpec] {
+        &self.apis
+    }
+
+    /// Number of services.
+    pub fn service_count(&self) -> usize {
+        self.services.len()
+    }
+
+    /// Looks up a service by name.
+    pub fn find_service(&self, name: &str) -> Option<&ServiceSpec> {
+        self.service_index
+            .get(name)
+            .map(|&idx| &self.services[idx])
+            .or_else(|| self.services.iter().find(|s| s.name == name))
+    }
+
+    /// Resolves a call spec to its service and operation.
+    pub fn resolve(&self, call: &CallSpec) -> Option<(&ServiceSpec, &OperationSpec)> {
+        let service = self.find_service(&call.service)?;
+        let op = service.find_operation(&call.operation)?;
+        Some((service, op))
+    }
+
+    /// Restricts the application to its first `n` APIs (used by the load-test
+    /// experiments that vary the number of active APIs).
+    pub fn with_api_limit(&self, n: usize) -> Application {
+        let mut limited = self.clone();
+        limited.apis.truncate(n.max(1));
+        limited
+    }
+}
+
+/// Builder for [`Application`] values.
+#[derive(Debug, Clone)]
+pub struct ApplicationBuilder {
+    name: String,
+    services: Vec<ServiceSpec>,
+    apis: Vec<ApiSpec>,
+}
+
+impl ApplicationBuilder {
+    /// Adds a service.
+    pub fn service(mut self, service: ServiceSpec) -> Self {
+        self.services.push(service);
+        self
+    }
+
+    /// Adds an API entry point.
+    pub fn api(mut self, name: impl Into<String>, entry: CallSpec, weight: f64) -> Self {
+        self.apis.push(ApiSpec::new(name, entry, weight));
+        self
+    }
+
+    /// Validates the topology and builds the application.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TopologyError`] if a call references a missing
+    /// service/operation, if the call graph is cyclic, if no APIs are defined
+    /// or an API weight is non-positive.
+    pub fn build(self) -> Result<Application, TopologyError> {
+        let service_index: HashMap<String, usize> = self
+            .services
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.name.clone(), i))
+            .collect();
+
+        if self.apis.is_empty() {
+            return Err(TopologyError::NoApis);
+        }
+
+        let resolve = |call: &CallSpec| -> Result<(usize, usize), TopologyError> {
+            let &sidx = service_index
+                .get(&call.service)
+                .ok_or_else(|| TopologyError::UnknownService(call.service.clone()))?;
+            let oidx = self.services[sidx]
+                .operations
+                .iter()
+                .position(|op| op.name == call.operation)
+                .ok_or_else(|| TopologyError::UnknownOperation {
+                    service: call.service.clone(),
+                    operation: call.operation.clone(),
+                })?;
+            Ok((sidx, oidx))
+        };
+
+        // Validate every call reference and API entry.
+        for api in &self.apis {
+            if api.weight <= 0.0 {
+                return Err(TopologyError::InvalidWeight(api.name.clone()));
+            }
+            resolve(&api.entry)?;
+        }
+        for service in &self.services {
+            for op in &service.operations {
+                for call in &op.calls {
+                    resolve(call)?;
+                }
+            }
+        }
+
+        // Cycle detection over (service, operation) nodes with iterative DFS.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Mark {
+            White,
+            Gray,
+            Black,
+        }
+        let mut marks: HashMap<(usize, usize), Mark> = HashMap::new();
+        for (sidx, service) in self.services.iter().enumerate() {
+            for (oidx, _) in service.operations.iter().enumerate() {
+                marks.insert((sidx, oidx), Mark::White);
+            }
+        }
+        for (&start, _) in marks.clone().iter() {
+            if marks[&start] != Mark::White {
+                continue;
+            }
+            // Iterative DFS with an explicit stack of (node, next-child-index).
+            let mut stack: Vec<((usize, usize), usize)> = vec![(start, 0)];
+            marks.insert(start, Mark::Gray);
+            while let Some(&mut (node, ref mut child_idx)) = stack.last_mut() {
+                let (sidx, oidx) = node;
+                let calls = &self.services[sidx].operations[oidx].calls;
+                if *child_idx < calls.len() {
+                    let call = &calls[*child_idx];
+                    *child_idx += 1;
+                    let target = resolve(call).expect("validated above");
+                    match marks[&target] {
+                        Mark::Gray => {
+                            return Err(TopologyError::CyclicCallGraph {
+                                service: call.service.clone(),
+                                operation: call.operation.clone(),
+                            })
+                        }
+                        Mark::White => {
+                            marks.insert(target, Mark::Gray);
+                            stack.push((target, 0));
+                        }
+                        Mark::Black => {}
+                    }
+                } else {
+                    marks.insert(node, Mark::Black);
+                    stack.pop();
+                }
+            }
+        }
+
+        // Every API should reach at least one operation (trivially true once
+        // resolution succeeded); also check reachability is finite which the
+        // acyclicity check guarantees.
+        let _reachable: HashSet<&str> = self.services.iter().map(|s| s.name.as_str()).collect();
+
+        Ok(Application {
+            name: self.name,
+            services: self.services,
+            apis: self.apis,
+            service_index,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn two_service_app() -> Application {
+        Application::builder("demo")
+            .service(
+                ServiceSpec::new("front").operation(
+                    OperationSpec::new("GET /")
+                        .kind(SpanKind::Server)
+                        .call("back", "query"),
+                ),
+            )
+            .service(ServiceSpec::new("back").operation(OperationSpec::new("query")))
+            .api("home", CallSpec::new("front", "GET /"), 1.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn build_and_resolve() {
+        let app = two_service_app();
+        assert_eq!(app.service_count(), 2);
+        assert_eq!(app.apis().len(), 1);
+        let (svc, op) = app.resolve(&CallSpec::new("back", "query")).unwrap();
+        assert_eq!(svc.name, "back");
+        assert_eq!(op.name, "query");
+        assert!(app.resolve(&CallSpec::new("nope", "query")).is_none());
+    }
+
+    #[test]
+    fn unknown_service_rejected() {
+        let err = Application::builder("bad")
+            .service(
+                ServiceSpec::new("front")
+                    .operation(OperationSpec::new("GET /").call("missing", "op")),
+            )
+            .api("home", CallSpec::new("front", "GET /"), 1.0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, TopologyError::UnknownService("missing".into()));
+    }
+
+    #[test]
+    fn unknown_operation_rejected() {
+        let err = Application::builder("bad")
+            .service(ServiceSpec::new("front").operation(OperationSpec::new("GET /")))
+            .api("home", CallSpec::new("front", "missing"), 1.0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, TopologyError::UnknownOperation { .. }));
+    }
+
+    #[test]
+    fn cyclic_graph_rejected() {
+        let err = Application::builder("cyclic")
+            .service(
+                ServiceSpec::new("a").operation(OperationSpec::new("op_a").call("b", "op_b")),
+            )
+            .service(
+                ServiceSpec::new("b").operation(OperationSpec::new("op_b").call("a", "op_a")),
+            )
+            .api("loop", CallSpec::new("a", "op_a"), 1.0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, TopologyError::CyclicCallGraph { .. }));
+    }
+
+    #[test]
+    fn no_apis_rejected() {
+        let err = Application::builder("empty")
+            .service(ServiceSpec::new("a").operation(OperationSpec::new("op")))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, TopologyError::NoApis);
+    }
+
+    #[test]
+    fn non_positive_weight_rejected() {
+        let err = Application::builder("bad")
+            .service(ServiceSpec::new("a").operation(OperationSpec::new("op")))
+            .api("x", CallSpec::new("a", "op"), 0.0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, TopologyError::InvalidWeight("x".into()));
+    }
+
+    #[test]
+    fn latency_model_sampling_bounds() {
+        let model = LatencyModel::new(100, 50);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let sample = model.sample(&mut rng);
+            assert!((100..=150).contains(&sample));
+        }
+        let fixed = LatencyModel::new(10, 0);
+        assert_eq!(fixed.sample(&mut rng), 10);
+    }
+
+    #[test]
+    fn api_limit_truncates() {
+        let app = two_service_app();
+        let limited = app.with_api_limit(5);
+        assert_eq!(limited.apis().len(), 1);
+        let at_least_one = app.with_api_limit(0);
+        assert_eq!(at_least_one.apis().len(), 1);
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let msg = TopologyError::UnknownOperation {
+            service: "cart".into(),
+            operation: "AddItem".into(),
+        }
+        .to_string();
+        assert!(msg.contains("cart") && msg.contains("AddItem"));
+    }
+}

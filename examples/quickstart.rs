@@ -1,0 +1,72 @@
+//! Quickstart: run a small microservice workload through a full Mint
+//! deployment and query a trace back, both exactly and approximately.
+//!
+//! ```bash
+//! cargo run --example quickstart
+//! ```
+
+use mint::core::{MintConfig, MintDeployment, QueryResult};
+use mint::workload::{online_boutique, GeneratorConfig, TraceGenerator};
+
+fn main() {
+    // 1. Generate traffic for the OnlineBoutique application: 10 services,
+    //    8 request APIs, 5% of requests tagged abnormal.
+    let generator_config = GeneratorConfig::default().with_seed(7).with_abnormal_rate(0.05);
+    let mut generator = TraceGenerator::new(online_boutique(), generator_config);
+    let traces = generator.generate(1_000);
+    println!(
+        "generated {} traces / {} spans ({} raw bytes)",
+        traces.len(),
+        traces.span_count(),
+        traces.total_wire_size()
+    );
+
+    // 2. Run them through a Mint deployment: one agent per service, a
+    //    collector and a backend.
+    let mut mint = MintDeployment::new(MintConfig::default());
+    let report = mint.process(&traces);
+    println!(
+        "mint processed {} traces: {} span patterns, {} topology patterns",
+        report.traces, report.span_patterns, report.topo_patterns
+    );
+    println!(
+        "storage: {} bytes ({:.1}% of raw); network: {} bytes ({:.1}% of raw); {} traces sampled",
+        report.storage.total_bytes(),
+        report.storage_ratio() * 100.0,
+        report.network.total_bytes(),
+        report.network_ratio() * 100.0,
+        report.sampled_traces
+    );
+
+    // 3. Query traces back.  Every trace is answerable: sampled traces come
+    //    back exactly, the rest as approximate traces.
+    let mut exact = 0;
+    let mut approximate = 0;
+    for trace in &traces {
+        match mint.backend().query(trace.trace_id()) {
+            QueryResult::Exact(_) => exact += 1,
+            QueryResult::Approximate(_) => approximate += 1,
+            QueryResult::Miss => unreachable!("mint never loses a trace"),
+        }
+    }
+    println!("queries answered: {exact} exact, {approximate} approximate, 0 misses");
+
+    // 4. Show one approximate trace the way the paper's Fig. 10 does.
+    let unsampled = traces
+        .iter()
+        .find(|t| matches!(mint.backend().query(t.trace_id()), QueryResult::Approximate(_)))
+        .expect("some trace is unsampled");
+    if let QueryResult::Approximate(approx) = mint.backend().query(unsampled.trace_id()) {
+        println!("\napproximate trace {}:", approx.trace_id);
+        for span in approx.spans.iter().take(6) {
+            println!(
+                "  [{}] {} / {} duration {} attrs {:?}",
+                span.kind,
+                span.service,
+                span.name,
+                span.duration_range,
+                span.attributes.iter().take(2).collect::<Vec<_>>()
+            );
+        }
+    }
+}

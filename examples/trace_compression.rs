@@ -1,0 +1,56 @@
+//! Lossless trace compression with Mint's commonality + variability parsing,
+//! compared with log-style compressors on the same textual rendering — a
+//! single-dataset version of the paper's Table 4.
+//!
+//! ```bash
+//! cargo run --release --example trace_compression
+//! ```
+
+use mint::compressors::{Clp, Compressor, LogReducer, LogZip};
+use mint::core::{mint_compressed_size, MintConfig};
+use mint::trace_model::render_trace_text;
+use mint::workload::alibaba_dataset;
+
+fn main() {
+    let dataset = alibaba_dataset("D").expect("dataset D exists");
+    let mut generator = dataset.generator(3);
+    let traces = generator.generate(dataset.scaled_trace_count(0.002));
+
+    let lines: Vec<String> = traces
+        .iter()
+        .flat_map(|t| render_trace_text(t).lines().map(str::to_owned).collect::<Vec<_>>())
+        .collect();
+    let raw_text: u64 = lines.iter().map(|l| l.len() as u64 + 1).sum();
+    println!(
+        "dataset {}: {} traces, {} spans, {:.1} MB of span text",
+        dataset.name,
+        traces.len(),
+        lines.len(),
+        raw_text as f64 / 1e6
+    );
+
+    for compressor in [&LogZip::new() as &dyn Compressor, &LogReducer::new(), &Clp::new()] {
+        let stats = compressor.compress(&lines);
+        println!(
+            "{:<12} {:>8.2}x ({} templates)",
+            compressor.name(),
+            stats.ratio(),
+            stats.templates
+        );
+    }
+
+    let config = MintConfig::default();
+    let breakdown = mint_compressed_size(&traces, &config, true, true);
+    println!(
+        "{:<12} {:>8.2}x (span patterns {} B, topo patterns {} B, params {} B)",
+        "Mint",
+        raw_text as f64 / breakdown.compressed_bytes().max(1) as f64,
+        breakdown.span_pattern_bytes,
+        breakdown.topo_pattern_bytes,
+        breakdown.params_bytes
+    );
+    println!(
+        "\nMint stores every trace losslessly (queryable without decompression) in a fraction \
+         of the space the line-oriented compressors need."
+    );
+}

@@ -1,0 +1,38 @@
+//! Umbrella crate for the Mint reproduction.
+//!
+//! This crate re-exports every workspace member so that examples,
+//! integration tests and downstream users have a single dependency:
+//!
+//! * [`trace_model`] — the span/trace data model and wire-size ruler;
+//! * [`bloom`] — the Bloom filter used for metadata mounting;
+//! * [`workload`] — microservice workload simulators and fault injection;
+//! * [`core`] — Mint itself: parsers, pattern libraries, samplers, agent,
+//!   collector and backend;
+//! * [`baselines`] — comparison tracing frameworks behind one trait;
+//! * [`compressors`] — log-style compression comparators;
+//! * [`rca`] — downstream root-cause-analysis consumers.
+//!
+//! # Quick start
+//!
+//! ```
+//! use mint::core::{MintConfig, MintDeployment};
+//! use mint::workload::{online_boutique, GeneratorConfig, TraceGenerator};
+//!
+//! let mut generator = TraceGenerator::new(online_boutique(), GeneratorConfig::default());
+//! let traces = generator.generate(100);
+//! let mut deployment = MintDeployment::new(MintConfig::default());
+//! let report = deployment.process(&traces);
+//! assert_eq!(report.traces, 100);
+//! assert!(!deployment.backend().query(traces.traces()[0].trace_id()).is_miss());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use baselines;
+pub use compressors;
+pub use mint_bloom as bloom;
+pub use mint_core as core;
+pub use rca;
+pub use trace_model;
+pub use workload;

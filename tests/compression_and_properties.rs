@@ -1,0 +1,96 @@
+//! Cross-crate integration and property tests for the compression path and
+//! the parser invariants the lossless claims rest on.
+
+use mint::compressors::{Clp, Compressor, LogReducer, LogZip};
+use mint::core::span_parser::StringAttributeParser;
+use mint::core::{mint_compressed_size, tokenize, MintConfig};
+use mint::trace_model::render_trace_text;
+use mint::workload::{alibaba_dataset, layered_application, GeneratorConfig, TraceGenerator};
+use proptest::prelude::*;
+
+#[test]
+fn mint_beats_line_oriented_compressors_on_alibaba_style_traces() {
+    let dataset = alibaba_dataset("B").unwrap();
+    let mut generator = dataset.generator(5);
+    let traces = generator.generate(800);
+    let lines: Vec<String> = traces
+        .iter()
+        .flat_map(|t| render_trace_text(t).lines().map(str::to_owned).collect::<Vec<_>>())
+        .collect();
+    let raw_text: u64 = lines.iter().map(|l| l.len() as u64 + 1).sum();
+
+    let mint = mint_compressed_size(&traces, &MintConfig::default(), true, true);
+    let mint_ratio = raw_text as f64 / mint.compressed_bytes().max(1) as f64;
+
+    for compressor in [&LogZip::new() as &dyn Compressor, &LogReducer::new(), &Clp::new()] {
+        let stats = compressor.compress(&lines);
+        assert!(
+            mint_ratio > stats.ratio(),
+            "Mint ratio {mint_ratio:.2} should beat {} ratio {:.2}",
+            compressor.name(),
+            stats.ratio()
+        );
+    }
+}
+
+#[test]
+fn both_parsing_levels_contribute_to_compression() {
+    let mut generator = TraceGenerator::new(
+        layered_application("integration", 4, 8, 20),
+        GeneratorConfig::default().with_seed(13).with_abnormal_rate(0.0),
+    );
+    let traces = generator.generate(600);
+    let config = MintConfig::default();
+    let full = mint_compressed_size(&traces, &config, true, true);
+    let without_span = mint_compressed_size(&traces, &config, false, true);
+    let without_topo = mint_compressed_size(&traces, &config, true, false);
+    assert!(full.compressed_bytes() < without_span.compressed_bytes());
+    assert!(full.compressed_bytes() < without_topo.compressed_bytes());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Parsing a string attribute and reconstructing it from the extracted
+    /// parameters preserves the token content, for SQL-shaped values.
+    #[test]
+    fn string_parse_reconstruct_preserves_tokens(
+        table in "[a-z]{3,10}",
+        tenant in 0u32..100_000,
+        id in 0u64..10_000_000,
+        limit in 1u32..500,
+    ) {
+        let mut parser = StringAttributeParser::new(0.8);
+        // Warm the parser with a couple of values of the same shape.
+        parser.parse("SELECT * FROM warm WHERE tenant = 1 AND id = 2 LIMIT 3");
+        parser.parse("SELECT * FROM warm WHERE tenant = 9 AND id = 8 LIMIT 7");
+        let value = format!("SELECT * FROM {table} WHERE tenant = {tenant} AND id = {id} LIMIT {limit}");
+        let (template_id, params) = parser.parse(&value);
+        let rebuilt = parser.templates()[template_id].reconstruct(&params);
+        prop_assert_eq!(tokenize(&rebuilt), tokenize(&value));
+    }
+
+    /// Numeric-heavy values never explode the template count.
+    #[test]
+    fn identifier_values_stay_bounded(values in proptest::collection::vec(0u64..u64::MAX, 1..200)) {
+        let mut parser = StringAttributeParser::new(0.8);
+        for v in &values {
+            parser.parse(&format!("request-{v} accepted"));
+        }
+        prop_assert!(parser.template_count() <= 2, "templates {}", parser.template_count());
+    }
+
+    /// The deterministic generator is insensitive to the order in which the
+    /// same APIs are requested: every trace stays coherent.
+    #[test]
+    fn generated_traces_are_always_coherent(seed in 0u64..1_000, n in 1usize..40) {
+        let mut generator = TraceGenerator::new(
+            mint::workload::online_boutique(),
+            GeneratorConfig::default().with_seed(seed),
+        );
+        for trace in generator.generate(n).iter() {
+            prop_assert!(trace.is_coherent());
+            prop_assert!(trace.root().is_some());
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! End-to-end integration tests spanning the whole workspace: workload
+//! generation → Mint deployment → backend queries → downstream analysis,
+//! plus cross-framework invariants the paper's evaluation relies on.
+
+use mint::baselines::{
+    Hindsight, MintFramework, OtFull, OtHead, OtTail, QueryOutcome, Sieve, TracingFramework,
+};
+use mint::core::{MintConfig, MintDeployment, QueryResult, SamplingMode};
+use mint::rca::{label_anomalous, MicroRank, RcaMethod};
+use mint::workload::{
+    online_boutique, train_ticket, FaultInjector, FaultType, GeneratorConfig, TraceGenerator,
+};
+
+fn workload(n: usize, seed: u64, abnormal: f64) -> mint::trace_model::TraceSet {
+    let config = GeneratorConfig::default().with_seed(seed).with_abnormal_rate(abnormal);
+    TraceGenerator::new(online_boutique(), config).generate(n)
+}
+
+#[test]
+fn mint_answers_every_query_for_both_benchmarks() {
+    for (app, n) in [(online_boutique(), 400usize), (train_ticket(), 200usize)] {
+        let config = GeneratorConfig::default().with_seed(3).with_abnormal_rate(0.05);
+        let traces = TraceGenerator::new(app, config).generate(n);
+        let mut mint = MintDeployment::new(MintConfig::default());
+        mint.process(&traces);
+        for trace in &traces {
+            assert!(
+                !mint.backend().query(trace.trace_id()).is_miss(),
+                "missed trace {}",
+                trace.trace_id()
+            );
+        }
+    }
+}
+
+#[test]
+fn sampled_traces_reconstruct_with_full_metadata() {
+    let traces = workload(400, 9, 0.1);
+    let mut mint = MintDeployment::new(MintConfig::default());
+    mint.process(&traces);
+
+    let mut exact_checked = 0;
+    for trace in &traces {
+        if let QueryResult::Exact(rebuilt) = mint.backend().query(trace.trace_id()) {
+            assert_eq!(rebuilt.trace_id(), trace.trace_id());
+            assert_eq!(rebuilt.len(), trace.len(), "span count preserved");
+            // Every original span id is present with its service and duration.
+            for span in trace.spans() {
+                let restored = rebuilt
+                    .span(span.span_id())
+                    .unwrap_or_else(|| panic!("span {} missing", span.span_id()));
+                assert_eq!(restored.service(), span.service());
+                assert_eq!(restored.name(), span.name());
+                assert_eq!(restored.duration_us(), span.duration_us());
+                assert_eq!(restored.parent_id(), span.parent_id());
+            }
+            exact_checked += 1;
+        }
+    }
+    assert!(exact_checked > 5, "expected some exact traces, got {exact_checked}");
+}
+
+#[test]
+fn storage_overhead_amortizes_to_a_few_percent() {
+    // The paper's headline: storage reduced to a few percent of raw volume
+    // while every request stays collectable.  Use the controlled-budget
+    // configuration of Fig. 11.
+    let traces = workload(4_000, 17, 0.05);
+    let config = MintConfig::default().with_sampling_mode(SamplingMode::AbnormalTag);
+    let mut mint = MintDeployment::new(config);
+    let report = mint.process(&traces);
+    assert!(
+        report.storage_ratio() < 0.10,
+        "storage ratio {} should be well below 10%",
+        report.storage_ratio()
+    );
+    assert!(
+        report.network_ratio() < 0.12,
+        "network ratio {} should be well below 12%",
+        report.network_ratio()
+    );
+    assert!(report.sampled_traces as f64 <= 0.10 * report.traces as f64);
+}
+
+#[test]
+fn frameworks_preserve_the_papers_ordering() {
+    let traces = workload(1_500, 21, 0.05);
+    let raw = traces.total_wire_size() as u64;
+
+    let mint_config = MintConfig::default().with_sampling_mode(SamplingMode::AbnormalTag);
+    let mut frameworks: Vec<Box<dyn TracingFramework>> = vec![
+        Box::new(OtFull::new()),
+        Box::new(OtHead::new(0.05)),
+        Box::new(OtTail::new()),
+        Box::new(Sieve::new(0.05)),
+        Box::new(Hindsight::new()),
+        Box::new(MintFramework::new(mint_config)),
+    ];
+    let reports: Vec<_> = frameworks
+        .iter_mut()
+        .map(|f| (f.name(), f.process(&traces)))
+        .collect();
+
+    let get = |name: &str| reports.iter().find(|(n, _)| *n == name).unwrap().1;
+    // OT-Full pays full price on both axes.
+    assert_eq!(get("OT-Full").network_bytes, raw);
+    assert_eq!(get("OT-Full").storage_bytes, raw);
+    // Tail-style approaches pay full network cost.
+    assert_eq!(get("OT-Tail").network_bytes, raw);
+    assert_eq!(get("Sieve").network_bytes, raw);
+    // Mint's storage is the lowest of all frameworks that keep anything.
+    for name in ["OT-Full", "OT-Head", "OT-Tail", "Sieve", "Hindsight"] {
+        assert!(
+            get("Mint").storage_bytes < get(name).storage_bytes,
+            "Mint storage {} not below {name} {}",
+            get("Mint").storage_bytes,
+            get(name).storage_bytes
+        );
+    }
+    // Mint's network cost is far below the tail-style frameworks and in the
+    // same regime as head sampling.
+    assert!(get("Mint").network_bytes * 5 < get("OT-Tail").network_bytes);
+    assert!(get("Mint").network_ratio() < 0.15);
+}
+
+#[test]
+fn query_answerability_matches_retention_strategy() {
+    let traces = workload(600, 33, 0.05);
+    let mint_config = MintConfig::default().with_sampling_mode(SamplingMode::AbnormalTag);
+    let mut mint = MintFramework::new(mint_config);
+    let mut head = OtHead::new(0.05);
+    mint.process(&traces);
+    head.process(&traces);
+
+    let mut mint_misses = 0;
+    let mut head_misses = 0;
+    for trace in &traces {
+        if mint.query(trace.trace_id()) == QueryOutcome::Miss {
+            mint_misses += 1;
+        }
+        if head.query(trace.trace_id()) == QueryOutcome::Miss {
+            head_misses += 1;
+        }
+    }
+    assert_eq!(mint_misses, 0, "Mint must answer every query");
+    assert!(
+        head_misses > traces.len() / 2,
+        "head sampling should miss most queries, missed {head_misses}"
+    );
+}
+
+#[test]
+fn rca_pipeline_identifies_injected_fault_with_mint_data() {
+    let config = GeneratorConfig::default().with_seed(41).with_abnormal_rate(0.0);
+    let mut generator = TraceGenerator::new(online_boutique(), config);
+    let mut traces = generator.generate(500);
+    let mut injector = FaultInjector::new(7);
+    injector.inject(&mut traces, FaultType::CodeException, "cartservice");
+
+    let mut mint = MintFramework::new(MintConfig::default());
+    mint.process(&traces);
+    let labelled = label_anomalous(&mint.analysis_views());
+    assert!(labelled.iter().any(|l| l.anomalous));
+    let ranking = MicroRank.rank(&labelled);
+    assert_eq!(ranking.first().map(|(s, _)| s.as_str()), Some("cartservice"));
+}
