@@ -87,7 +87,9 @@ mod tests {
     fn traces(n: usize) -> TraceSet {
         TraceGenerator::new(
             online_boutique(),
-            GeneratorConfig::default().with_seed(71).with_abnormal_rate(0.05),
+            GeneratorConfig::default()
+                .with_seed(71)
+                .with_abnormal_rate(0.05),
         )
         .generate(n)
     }
@@ -98,9 +100,17 @@ mod tests {
         let mut framework = Hindsight::new();
         let report = framework.process(&traces);
         // Much cheaper than full export, slightly more than nothing.
-        assert!(report.network_ratio() < 0.25, "network {}", report.network_ratio());
+        assert!(
+            report.network_ratio() < 0.25,
+            "network {}",
+            report.network_ratio()
+        );
         assert!(report.network_bytes > report.storage_bytes);
-        assert!(report.storage_ratio() < 0.25, "storage {}", report.storage_ratio());
+        assert!(
+            report.storage_ratio() < 0.25,
+            "storage {}",
+            report.storage_ratio()
+        );
         assert_eq!(report.retained_traces, framework.triggers_fired());
     }
 

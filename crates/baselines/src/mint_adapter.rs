@@ -108,7 +108,9 @@ mod tests {
     fn traces(n: usize) -> TraceSet {
         TraceGenerator::new(
             online_boutique(),
-            GeneratorConfig::default().with_seed(81).with_abnormal_rate(0.05),
+            GeneratorConfig::default()
+                .with_seed(81)
+                .with_abnormal_rate(0.05),
         )
         .generate(n)
     }

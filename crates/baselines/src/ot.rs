@@ -195,7 +195,9 @@ mod tests {
     fn traces(n: usize) -> TraceSet {
         TraceGenerator::new(
             online_boutique(),
-            GeneratorConfig::default().with_seed(51).with_abnormal_rate(0.05),
+            GeneratorConfig::default()
+                .with_seed(51)
+                .with_abnormal_rate(0.05),
         )
         .generate(n)
     }
@@ -218,8 +220,16 @@ mod tests {
         let traces = traces(1_000);
         let mut framework = OtHead::new(0.05);
         let report = framework.process(&traces);
-        assert!(report.network_ratio() < 0.12, "network {}", report.network_ratio());
-        assert!(report.storage_ratio() < 0.12, "storage {}", report.storage_ratio());
+        assert!(
+            report.network_ratio() < 0.12,
+            "network {}",
+            report.network_ratio()
+        );
+        assert!(
+            report.storage_ratio() < 0.12,
+            "storage {}",
+            report.storage_ratio()
+        );
         let retention = report.retention_rate();
         assert!((0.02..0.09).contains(&retention), "retention {retention}");
         // Unsampled traces are gone.
@@ -236,7 +246,11 @@ mod tests {
         let mut framework = OtTail::new();
         let report = framework.process(&traces);
         assert_eq!(report.network_bytes, report.raw_bytes);
-        assert!(report.storage_ratio() < 0.25, "storage {}", report.storage_ratio());
+        assert!(
+            report.storage_ratio() < 0.25,
+            "storage {}",
+            report.storage_ratio()
+        );
         // Only abnormal traces are queryable.
         for trace in &traces {
             let outcome = framework.query(trace.trace_id());

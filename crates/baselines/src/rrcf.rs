@@ -23,7 +23,12 @@ enum Node {
     },
 }
 
-fn build_node<R: Rng>(points: &mut [Vec<f64>], depth: usize, max_depth: usize, rng: &mut R) -> Node {
+fn build_node<R: Rng>(
+    points: &mut [Vec<f64>],
+    depth: usize,
+    max_depth: usize,
+    rng: &mut R,
+) -> Node {
     if points.len() <= 1 || depth >= max_depth {
         return Node::Leaf { size: points.len() };
     }
@@ -53,10 +58,8 @@ fn build_node<R: Rng>(points: &mut [Vec<f64>], depth: usize, max_depth: usize, r
     }
     let (lo, hi) = ranges[dimension];
     let cut = rng.gen_range(lo..hi);
-    let (mut left, mut right): (Vec<Vec<f64>>, Vec<Vec<f64>>) = points
-        .iter()
-        .cloned()
-        .partition(|p| p[dimension] <= cut);
+    let (mut left, mut right): (Vec<Vec<f64>>, Vec<Vec<f64>>) =
+        points.iter().cloned().partition(|p| p[dimension] <= cut);
     if left.is_empty() || right.is_empty() {
         return Node::Leaf { size: points.len() };
     }

@@ -47,7 +47,11 @@ impl Sieve {
             .map(|s| s.duration_us())
             .max()
             .unwrap_or(0) as f64;
-        let errors = trace.spans().iter().filter(|s| s.status().is_error()).count() as f64;
+        let errors = trace
+            .spans()
+            .iter()
+            .filter(|s| s.status().is_error())
+            .count() as f64;
         vec![
             (trace.duration_us() as f64 + 1.0).ln(),
             trace.len() as f64,
@@ -116,7 +120,9 @@ mod tests {
     fn traces(n: usize, abnormal: f64) -> TraceSet {
         TraceGenerator::new(
             online_boutique(),
-            GeneratorConfig::default().with_seed(61).with_abnormal_rate(abnormal),
+            GeneratorConfig::default()
+                .with_seed(61)
+                .with_abnormal_rate(abnormal),
         )
         .generate(n)
     }

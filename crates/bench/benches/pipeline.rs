@@ -10,7 +10,9 @@ use workload::{online_boutique, GeneratorConfig, TraceGenerator};
 fn workload(n: usize) -> trace_model::TraceSet {
     TraceGenerator::new(
         online_boutique(),
-        GeneratorConfig::default().with_seed(99).with_abnormal_rate(0.05),
+        GeneratorConfig::default()
+            .with_seed(99)
+            .with_abnormal_rate(0.05),
     )
     .generate(n)
 }

@@ -14,7 +14,9 @@ use workload::{online_boutique, GeneratorConfig, TraceGenerator};
 fn workload_spans(n: usize) -> Vec<trace_model::Span> {
     let mut generator = TraceGenerator::new(
         online_boutique(),
-        GeneratorConfig::default().with_seed(123).with_abnormal_rate(0.02),
+        GeneratorConfig::default()
+            .with_seed(123)
+            .with_abnormal_rate(0.02),
     );
     generator
         .generate(n)
@@ -50,10 +52,26 @@ fn bench_attribute_matching_ablation(c: &mut Criterion) {
     // The design-choice ablation: prefix-index candidate pruning vs scoring
     // every template linearly.
     let values: Vec<String> = (0..64)
-        .map(|i| format!("SELECT col{} FROM table{} WHERE tenant = {} AND id = {}", i % 8, i % 16, i, i * 97))
+        .map(|i| {
+            format!(
+                "SELECT col{} FROM table{} WHERE tenant = {} AND id = {}",
+                i % 8,
+                i % 16,
+                i,
+                i * 97
+            )
+        })
         .collect();
     let probe: Vec<String> = (0..512)
-        .map(|i| format!("SELECT col{} FROM table{} WHERE tenant = {} AND id = {}", i % 8, i % 16, i, i * 13))
+        .map(|i| {
+            format!(
+                "SELECT col{} FROM table{} WHERE tenant = {} AND id = {}",
+                i % 8,
+                i % 16,
+                i,
+                i * 13
+            )
+        })
         .collect();
 
     let mut group = c.benchmark_group("attribute_matching");
@@ -88,7 +106,9 @@ fn bench_attribute_matching_ablation(c: &mut Criterion) {
 fn bench_topology_encoding(c: &mut Criterion) {
     let mut generator = TraceGenerator::new(
         online_boutique(),
-        GeneratorConfig::default().with_seed(7).with_abnormal_rate(0.0),
+        GeneratorConfig::default()
+            .with_seed(7)
+            .with_abnormal_rate(0.0),
     );
     let traces = generator.generate(200);
     let subs: Vec<SubTrace> = traces.iter().flat_map(SubTrace::split_by_service).collect();
@@ -97,7 +117,12 @@ fn bench_topology_encoding(c: &mut Criterion) {
         .map(|sub| {
             sub.spans()
                 .iter()
-                .map(|s| (s.span_id(), PatternId::from_u128(s.name().len() as u128 + 1)))
+                .map(|s| {
+                    (
+                        s.span_id(),
+                        PatternId::from_u128(s.name().len() as u128 + 1),
+                    )
+                })
                 .collect()
         })
         .collect();

@@ -21,7 +21,11 @@ fn main() {
             ]
         })
         .collect();
-    print_table("Fig. 1 — daily trace volume", &["day", "volume (TB)", "volume (PB)"], &rows);
+    print_table(
+        "Fig. 1 — daily trace volume",
+        &["day", "volume (TB)", "volume (PB)"],
+        &rows,
+    );
 
     let min = volumes.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = volumes.iter().cloned().fold(0.0f64, f64::max);

@@ -23,7 +23,12 @@ fn main() {
         .collect();
     print_table(
         "Fig. 2 — per-service tracing overhead",
-        &["service", "storage (GB/day)", "tracing bw (MB/min)", "business bw (MB/min)"],
+        &[
+            "service",
+            "storage (GB/day)",
+            "tracing bw (MB/min)",
+            "business bw (MB/min)",
+        ],
         &rows,
     );
 

@@ -9,7 +9,9 @@
 
 use baselines::{OtHead, OtTail, TracingFramework};
 use bench::{print_table, ExpConfig};
-use workload::{online_boutique, GeneratorConfig, QueryWorkload, QueryWorkloadConfig, TraceGenerator};
+use workload::{
+    online_boutique, GeneratorConfig, QueryWorkload, QueryWorkloadConfig, TraceGenerator,
+};
 
 fn region_miss_rates(cfg: &ExpConfig, region_seed: u64, days: usize) -> Vec<f64> {
     let generator_config = GeneratorConfig::default()

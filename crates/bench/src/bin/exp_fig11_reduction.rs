@@ -92,7 +92,9 @@ fn print_benchmark(name: &str, results: &[(u64, Vec<Cell>)]) {
     );
 }
 
-fn summarize(results: &[(&str, Vec<(u64, Vec<Cell>)>)]) {
+type BenchmarkRows = Vec<(u64, Vec<Cell>)>;
+
+fn summarize(results: &[(&str, BenchmarkRows)]) {
     let mut mint_storage = Vec::new();
     let mut mint_network = Vec::new();
     for (_, benchmark) in results {

@@ -8,7 +8,9 @@
 
 use baselines::QueryOutcome;
 use bench::{all_frameworks, print_table, ExpConfig};
-use workload::{online_boutique, GeneratorConfig, QueryWorkload, QueryWorkloadConfig, TraceGenerator};
+use workload::{
+    online_boutique, GeneratorConfig, QueryWorkload, QueryWorkloadConfig, TraceGenerator,
+};
 
 fn main() {
     let cfg = ExpConfig::from_env();
@@ -46,8 +48,14 @@ fn main() {
         for (fi, framework) in frameworks.iter().enumerate() {
             let hits = if framework.name() == "Mint" {
                 // Reported as exact / partial, matching the paper's series.
-                let exact = ids.iter().filter(|id| framework.query(**id).is_exact()).count();
-                let partial = ids.iter().filter(|id| framework.query(**id).is_hit()).count();
+                let exact = ids
+                    .iter()
+                    .filter(|id| framework.query(**id).is_exact())
+                    .count();
+                let partial = ids
+                    .iter()
+                    .filter(|id| framework.query(**id).is_hit())
+                    .count();
                 totals[fi + 1] += exact as u64;
                 totals[fi + 2] += partial as u64;
                 format!("{exact} / {partial}")

@@ -50,8 +50,10 @@ fn main() {
         let ot_report = ot.process(&traces);
         let ot_cpu = ot_start.elapsed();
 
-        let mut mint_config = MintConfig::default();
-        mint_config.head_sampling_rate = 0.10;
+        let mint_config = MintConfig {
+            head_sampling_rate: 0.10,
+            ..MintConfig::default()
+        };
         let mut mint = MintFramework::new(mint_config);
         let mint_start = Instant::now();
         let mint_report = mint.process(&traces);
@@ -79,8 +81,16 @@ fn main() {
                 egress(ot_report.network_bytes),
                 egress(mint_report.network_bytes)
             ),
-            format!("0.0 / {:.2} / {:.2}", ot_cpu.as_secs_f64(), mint_cpu.as_secs_f64()),
-            format!("0 / {} / {}", fmt_bytes(ot_memory), fmt_bytes(mint_memory as u64)),
+            format!(
+                "0.0 / {:.2} / {:.2}",
+                ot_cpu.as_secs_f64(),
+                mint_cpu.as_secs_f64()
+            ),
+            format!(
+                "0 / {} / {}",
+                fmt_bytes(ot_memory),
+                fmt_bytes(mint_memory as u64)
+            ),
         ]);
     }
 

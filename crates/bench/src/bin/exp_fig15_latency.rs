@@ -32,11 +32,8 @@ fn main() {
         .with_abnormal_rate(0.05);
     let mut generator = TraceGenerator::new(online_boutique(), generator_config);
     let traces = generator.generate(requests);
-    let base_latency_us: f64 = traces
-        .iter()
-        .map(|t| t.duration_us() as f64)
-        .sum::<f64>()
-        / traces.len().max(1) as f64;
+    let base_latency_us: f64 =
+        traces.iter().map(|t| t.duration_us() as f64).sum::<f64>() / traces.len().max(1) as f64;
 
     // Panel (a): added per-request processing latency.
     let mut ot = OtHead::new(0.10);
@@ -71,7 +68,12 @@ fn main() {
     ];
     print_table(
         "Fig. 15(a) — end-to-end request latency impact",
-        &["replica", "request latency (us)", "added by tracing (us)", "relative increase"],
+        &[
+            "replica",
+            "request latency (us)",
+            "added by tracing (us)",
+            "relative increase",
+        ],
         &latency_rows,
     );
 
@@ -90,18 +92,28 @@ fn main() {
     let query_rows = vec![
         vec![
             "OpenTelemetry".to_owned(),
-            format!("{:.3}", ot_latencies.iter().sum::<f64>() / ot_latencies.len() as f64),
+            format!(
+                "{:.3}",
+                ot_latencies.iter().sum::<f64>() / ot_latencies.len() as f64
+            ),
             format!("{:.3}", percentile(ot_latencies.clone(), 0.95)),
         ],
         vec![
             "Mint".to_owned(),
-            format!("{:.3}", mint_latencies.iter().sum::<f64>() / mint_latencies.len() as f64),
+            format!(
+                "{:.3}",
+                mint_latencies.iter().sum::<f64>() / mint_latencies.len() as f64
+            ),
             format!("{:.3}", percentile(mint_latencies.clone(), 0.95)),
         ],
     ];
     print_table(
         "Fig. 15(b) — trace query latency (ms)",
-        &["backend", "mean query latency (ms)", "P95 query latency (ms)"],
+        &[
+            "backend",
+            "mean query latency (ms)",
+            "P95 query latency (ms)",
+        ],
         &query_rows,
     );
     println!(

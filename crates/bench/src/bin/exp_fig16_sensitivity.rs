@@ -39,7 +39,9 @@ fn main() {
         for (_, traces) in &sources {
             let breakdown = mint_compressed_size(traces, &config, true, true);
             row.push(fmt_bytes(
-                breakdown.span_pattern_bytes + breakdown.topo_pattern_bytes + breakdown.params_bytes,
+                breakdown.span_pattern_bytes
+                    + breakdown.topo_pattern_bytes
+                    + breakdown.params_bytes,
             ));
         }
         rows.push(row);

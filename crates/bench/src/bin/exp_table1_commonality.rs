@@ -16,7 +16,10 @@ fn main() {
     let services: Vec<(&str, workload::Application)> = vec![
         ("Service A (OnlineBoutique)", online_boutique()),
         ("Service B (TrainTicket)", train_ticket()),
-        ("Service C (Alibaba dataset D)", alibaba_dataset("D").unwrap().application()),
+        (
+            "Service C (Alibaba dataset D)",
+            alibaba_dataset("D").unwrap().application(),
+        ),
     ];
 
     for (index, (name, app)) in services.into_iter().enumerate() {
@@ -37,7 +40,13 @@ fn main() {
 
     print_table(
         "Table 1 — commonality among trace/span pairs",
-        &["service", "inter-trace #", "inter-trace %", "inter-span #", "inter-span %"],
+        &[
+            "service",
+            "inter-trace #",
+            "inter-trace %",
+            "inter-span #",
+            "inter-span %",
+        ],
         &rows,
     );
     println!("\nPaper ranges: inter-trace 34.44–56.14%, inter-span 25.55–45.34%.");

@@ -107,7 +107,11 @@ fn main() {
             let mut row = vec![bench_label.to_owned(), method.name().to_owned()];
             for framework in framework_names {
                 let (hits, cases) = accuracy
-                    .get(&(bench_label.to_owned(), method.name().to_owned(), framework.to_owned()))
+                    .get(&(
+                        bench_label.to_owned(),
+                        method.name().to_owned(),
+                        framework.to_owned(),
+                    ))
                     .copied()
                     .unwrap_or((0, 1));
                 row.push(format!("{:.4}", hits as f64 / cases.max(1) as f64));
@@ -116,8 +120,20 @@ fn main() {
         }
     }
 
-    let headers = ["benchmark", "RCA method", "OT-Head", "OT-Tail", "Sieve", "Hindsight", "Mint"];
-    print_table("Table 3 — downstream RCA top-1 accuracy (A@1)", &headers, &rows);
+    let headers = [
+        "benchmark",
+        "RCA method",
+        "OT-Head",
+        "OT-Tail",
+        "Sieve",
+        "Hindsight",
+        "Mint",
+    ];
+    print_table(
+        "Table 3 — downstream RCA top-1 accuracy (A@1)",
+        &headers,
+        &rows,
+    );
     println!(
         "\n{total_faults} faults injected (paper: 56). Paper's shape to check: Mint's column is \
          the highest for every method, baselines stay below ~0.38 while Mint reaches ~0.5-0.7."

@@ -35,7 +35,13 @@ fn main() {
         .collect();
     print_table(
         "Fig. 13 — dataset descriptions",
-        &["dataset", "paper trace #", "API #", "avg depth", "generated traces"],
+        &[
+            "dataset",
+            "paper trace #",
+            "API #",
+            "avg depth",
+            "generated traces",
+        ],
         &describe,
     );
 
@@ -48,7 +54,12 @@ fn main() {
         // The common raw representation: one text line per span.
         let lines: Vec<String> = traces
             .iter()
-            .flat_map(|t| render_trace_text(t).lines().map(str::to_owned).collect::<Vec<_>>())
+            .flat_map(|t| {
+                render_trace_text(t)
+                    .lines()
+                    .map(str::to_owned)
+                    .collect::<Vec<_>>()
+            })
             .collect();
         let raw_text_bytes: u64 = lines.iter().map(|l| l.len() as u64 + 1).sum();
 
@@ -74,7 +85,15 @@ fn main() {
 
     print_table(
         "Table 4 — compression ratio (higher is better)",
-        &["dataset", "LogZip", "LogReducer", "CLP", "w/o Sp", "w/o Tp", "Mint"],
+        &[
+            "dataset",
+            "LogZip",
+            "LogReducer",
+            "CLP",
+            "w/o Sp",
+            "w/o Tp",
+            "Mint",
+        ],
         &rows,
     );
     println!(

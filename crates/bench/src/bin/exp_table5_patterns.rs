@@ -53,7 +53,12 @@ fn main() {
 
     print_table(
         "Table 5 — pattern extraction results",
-        &["sub-service", "raw traces", "span-level patterns", "trace-level patterns"],
+        &[
+            "sub-service",
+            "raw traces",
+            "span-level patterns",
+            "trace-level patterns",
+        ],
         &rows,
     );
     println!(

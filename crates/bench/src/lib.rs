@@ -83,12 +83,24 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         .map(|(i, h)| format!("{h:<width$}", width = widths[i]))
         .collect();
     println!("{}", header_line.join("  "));
-    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    println!(
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
     for row in rows {
         let cells: Vec<String> = row
             .iter()
             .enumerate()
-            .map(|(i, c)| format!("{c:<width$}", width = widths.get(i).copied().unwrap_or(c.len())))
+            .map(|(i, c)| {
+                format!(
+                    "{c:<width$}",
+                    width = widths.get(i).copied().unwrap_or(c.len())
+                )
+            })
             .collect();
         println!("{}", cells.join("  "));
     }
@@ -173,16 +185,32 @@ mod tests {
 
     #[test]
     fn scale_from_default_env() {
-        let config = ExpConfig { scale: 1.0, seed: 1 };
+        let config = ExpConfig {
+            scale: 1.0,
+            seed: 1,
+        };
         assert_eq!(config.scaled(100), 100);
-        let half = ExpConfig { scale: 0.1, seed: 1 };
+        let half = ExpConfig {
+            scale: 0.1,
+            seed: 1,
+        };
         assert_eq!(half.scaled(100), 50);
     }
 
     #[test]
     fn framework_sets_have_expected_members() {
         let names: Vec<&str> = all_frameworks().iter().map(|f| f.name()).collect();
-        assert_eq!(names, vec!["OT-Full", "OT-Head", "OT-Tail", "Sieve", "Hindsight", "Mint"]);
+        assert_eq!(
+            names,
+            vec![
+                "OT-Full",
+                "OT-Head",
+                "OT-Tail",
+                "Sieve",
+                "Hindsight",
+                "Mint"
+            ]
+        );
         assert_eq!(reduction_frameworks().len(), 5);
         assert_eq!(rca_methods().len(), 3);
     }
@@ -192,7 +220,9 @@ mod tests {
         use workload::{online_boutique, GeneratorConfig};
         let mut generator = TraceGenerator::new(
             online_boutique(),
-            GeneratorConfig::default().with_seed(5).with_abnormal_rate(0.0),
+            GeneratorConfig::default()
+                .with_seed(5)
+                .with_abnormal_rate(0.0),
         );
         let mut mint = MintFramework::new(MintConfig::default());
         let case = run_fault_case(

@@ -92,11 +92,23 @@ mod tests {
     #[test]
     fn clp_typically_beats_logzip_on_numeric_heavy_lines() {
         let lines: Vec<String> = (0..400)
-            .map(|i| format!("ts={} count={} bytes={} status=ok", 1_700_000_000 + i, i * 7, i * 512))
+            .map(|i| {
+                format!(
+                    "ts={} count={} bytes={} status=ok",
+                    1_700_000_000 + i,
+                    i * 7,
+                    i * 512
+                )
+            })
             .collect();
         let clp = Clp::new().compress(&lines);
         let zip = crate::LogZip::new().compress(&lines);
-        assert!(clp.ratio() > zip.ratio(), "clp {} zip {}", clp.ratio(), zip.ratio());
+        assert!(
+            clp.ratio() > zip.ratio(),
+            "clp {} zip {}",
+            clp.ratio(),
+            zip.ratio()
+        );
     }
 
     #[test]

@@ -81,7 +81,10 @@ mod tests {
     #[test]
     fn tokenize_splits_key_value_pairs() {
         let tokens = tokenize_line("svc=frontend op=GET latency=12 ok");
-        assert_eq!(tokens, vec!["svc=", "frontend", "op=", "GET", "latency=", "12", "ok"]);
+        assert_eq!(
+            tokens,
+            vec!["svc=", "frontend", "op=", "GET", "latency=", "12", "ok"]
+        );
     }
 
     #[test]

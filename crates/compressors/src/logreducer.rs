@@ -61,7 +61,9 @@ impl Compressor for LogReducer {
                 } else {
                     let next_ref = string_dictionary.len() as u32;
                     let is_new = !string_dictionary.contains_key(variable.as_str());
-                    string_dictionary.entry(variable.clone()).or_insert(next_ref);
+                    string_dictionary
+                        .entry(variable.clone())
+                        .or_insert(next_ref);
                     if is_new {
                         stats.compressed_bytes += variable.len() as u64 + 2;
                     }
@@ -85,8 +87,12 @@ mod tests {
             .collect();
         let reducer = LogReducer::new().compress(&lines);
         let zip = crate::LogZip::new().compress(&lines);
-        assert!(reducer.ratio() > zip.ratio(),
-            "logreducer {} vs logzip {}", reducer.ratio(), zip.ratio());
+        assert!(
+            reducer.ratio() > zip.ratio(),
+            "logreducer {} vs logzip {}",
+            reducer.ratio(),
+            zip.ratio()
+        );
     }
 
     #[test]

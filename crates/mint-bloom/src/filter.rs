@@ -250,9 +250,7 @@ mod tests {
         for i in 0..2000u128 {
             filter.insert(&i);
         }
-        let false_positives = (10_000u128..20_000)
-            .filter(|i| filter.contains(i))
-            .count();
+        let false_positives = (10_000u128..20_000).filter(|i| filter.contains(i)).count();
         let rate = false_positives as f64 / 10_000.0;
         assert!(rate < 0.03, "observed fp rate {rate} too high");
     }
@@ -275,8 +273,11 @@ mod tests {
         let filter = BloomFilter::with_byte_budget(4096, 0.01);
         assert_eq!(filter.bit_count(), 4096 * 8);
         // ~9.59 bits/element => roughly 3400 elements fit in 4 KiB.
-        assert!(filter.capacity() > 3000 && filter.capacity() < 3600,
-            "capacity {}", filter.capacity());
+        assert!(
+            filter.capacity() > 3000 && filter.capacity() < 3600,
+            "capacity {}",
+            filter.capacity()
+        );
         assert!(filter.serialized_size() >= 4096);
     }
 

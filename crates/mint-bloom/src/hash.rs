@@ -70,7 +70,10 @@ pub(crate) fn fnv1a_seeded(bytes: &[u8], seed: u64) -> u64 {
 
 /// Produces the two base hashes used by double hashing.
 pub(crate) fn base_hashes(bytes: &[u8]) -> (u64, u64) {
-    (fnv1a_seeded(bytes, 0x51_7c), fnv1a_seeded(bytes, 0xa5_a5_a5))
+    (
+        fnv1a_seeded(bytes, 0x51_7c),
+        fnv1a_seeded(bytes, 0xa5_a5_a5),
+    )
 }
 
 /// The i-th derived hash.

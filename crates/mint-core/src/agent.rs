@@ -132,7 +132,9 @@ impl MintAgent {
         }
 
         let topo_pattern = self.trace_parser.encode(sub_trace, &pattern_of);
-        let outcome = self.topo_library.observe(topo_pattern, sub_trace.trace_id());
+        let outcome = self
+            .topo_library
+            .observe(topo_pattern, sub_trace.trace_id());
         let edge_case_sampled = self
             .edge_case
             .observe(outcome.match_count, self.topo_library.total_matches());
@@ -210,7 +212,9 @@ mod tests {
     fn sub_traces_for(n: usize, service: &str) -> Vec<SubTrace> {
         let mut generator = TraceGenerator::new(
             online_boutique(),
-            GeneratorConfig::default().with_seed(3).with_abnormal_rate(0.0),
+            GeneratorConfig::default()
+                .with_seed(3)
+                .with_abnormal_rate(0.0),
         );
         generator
             .generate(n)
@@ -232,7 +236,11 @@ mod tests {
         assert_eq!(stats.sub_traces, subs.len() as u64);
         assert!(stats.spans_parsed > 0);
         // Hundreds of sub-traces collapse to a small number of patterns.
-        assert!(agent.topo_library().len() <= 20, "topo {}", agent.topo_library().len());
+        assert!(
+            agent.topo_library().len() <= 20,
+            "topo {}",
+            agent.topo_library().len()
+        );
         assert!(agent.span_parser().library().len() <= 60);
     }
 
@@ -282,8 +290,11 @@ mod tests {
             agent.ingest_sub_trace(sub);
         }
         let raw: usize = subs.iter().map(|s| s.wire_size()).sum();
-        assert!(agent.library_upload_bytes() * 5 < raw,
-            "library {} raw {raw}", agent.library_upload_bytes());
+        assert!(
+            agent.library_upload_bytes() * 5 < raw,
+            "library {} raw {raw}",
+            agent.library_upload_bytes()
+        );
     }
 
     #[test]

@@ -136,7 +136,10 @@ impl MintBackend {
     /// separately (per mounted trace id) through
     /// [`MintBackend::charge_bloom_bytes`].
     pub fn store_bloom(&mut self, node: impl Into<String>, topo_id: PatternId, bloom: BloomFilter) {
-        self.blooms.entry((node.into(), topo_id)).or_default().push(bloom);
+        self.blooms
+            .entry((node.into(), topo_id))
+            .or_default()
+            .push(bloom);
     }
 
     /// Adds to the metadata-mounting storage bill.
@@ -151,6 +154,18 @@ impl MintBackend {
             .entry(params.trace_id)
             .or_default()
             .push((node.into(), params));
+    }
+
+    /// The stored Bloom filters, keyed by `(node, topology pattern id)`.
+    /// Used by the sharded merge step to re-key shard-local pattern ids.
+    pub(crate) fn blooms(&self) -> &HashMap<(String, PatternId), Vec<BloomFilter>> {
+        &self.blooms
+    }
+
+    /// The stored parameter blocks, keyed by trace id.  Used by the sharded
+    /// merge step to re-key shard-local span pattern references.
+    pub(crate) fn params_blocks(&self) -> &HashMap<TraceId, Vec<(String, TraceParams)>> {
+        &self.params
     }
 
     /// Number of traces with fully retained parameters.
@@ -240,7 +255,10 @@ impl MintBackend {
                 let Some(span_pattern) = catalog.spans.get(span_pattern_id) else {
                     continue;
                 };
-                let stats = catalog.spans.duration_stats(span_pattern_id).unwrap_or_default();
+                let stats = catalog
+                    .spans
+                    .duration_stats(span_pattern_id)
+                    .unwrap_or_default();
                 let (lower, upper) = if stats.count == 0 {
                     (0.0, 0.0)
                 } else {
@@ -284,7 +302,9 @@ mod tests {
     fn populated_backend(n: usize, sample_every: usize) -> (MintBackend, Vec<TraceId>) {
         let mut generator = TraceGenerator::new(
             online_boutique(),
-            GeneratorConfig::default().with_seed(11).with_abnormal_rate(0.0),
+            GeneratorConfig::default()
+                .with_seed(11)
+                .with_abnormal_rate(0.0),
         );
         let traces = generator.generate(n);
         let mut agents: HashMap<String, MintAgent> = HashMap::new();
@@ -308,8 +328,11 @@ mod tests {
         }
         for (node, agent) in agents.iter_mut() {
             backend.store_catalog(node.clone(), agent.catalog());
-            let patterns: Vec<TopoPattern> =
-                agent.topo_library().iter().map(|(_, p, _)| p.clone()).collect();
+            let patterns: Vec<TopoPattern> = agent
+                .topo_library()
+                .iter()
+                .map(|(_, p, _)| p.clone())
+                .collect();
             backend.store_topo_patterns(node.clone(), patterns);
             for (topo_id, bloom) in agent.topo_library_mut().drain_partial_blooms() {
                 backend.store_bloom(node.clone(), topo_id, bloom);
@@ -329,7 +352,10 @@ mod tests {
     #[test]
     fn sampled_traces_return_exact_results() {
         let (backend, ids) = populated_backend(40, 4);
-        let exact = ids.iter().filter(|id| backend.query(**id).is_exact()).count();
+        let exact = ids
+            .iter()
+            .filter(|id| backend.query(**id).is_exact())
+            .count();
         assert!(exact >= 10, "exact {exact}");
         assert_eq!(backend.sampled_trace_count(), exact);
     }

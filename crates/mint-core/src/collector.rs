@@ -134,21 +134,30 @@ impl DeploymentReport {
     }
 }
 
+/// Simulated duration of a batch from its span timestamp range.
+pub(crate) fn batch_duration_s(min_start_us: u64, max_end_us: u64) -> u64 {
+    if max_end_us > min_start_us {
+        ((max_end_us - min_start_us) / 1_000_000).max(1)
+    } else {
+        1
+    }
+}
+
 /// A full Mint deployment: one agent per service node, a collector and a
 /// backend.
 #[derive(Debug, Clone)]
 pub struct MintDeployment {
     config: MintConfig,
-    agents: HashMap<String, MintAgent>,
-    collector: MintCollector,
-    backend: MintBackend,
+    pub(crate) agents: HashMap<String, MintAgent>,
+    pub(crate) collector: MintCollector,
+    pub(crate) backend: MintBackend,
     head_sampler: HeadSampler,
-    traces_processed: u64,
-    spans_processed: u64,
-    sampled_traces: u64,
-    raw_trace_bytes: u64,
+    pub(crate) traces_processed: u64,
+    pub(crate) spans_processed: u64,
+    pub(crate) sampled_traces: u64,
+    pub(crate) raw_trace_bytes: u64,
     duration_s: u64,
-    warmed_up: bool,
+    pub(crate) warmed_up: bool,
 }
 
 impl MintDeployment {
@@ -200,32 +209,23 @@ impl MintDeployment {
     pub fn process(&mut self, traces: &TraceSet) -> DeploymentReport {
         if !self.warmed_up {
             self.warm_up(traces);
-            self.warmed_up = true;
         }
 
         let (mut min_start, mut max_end) = (u64::MAX, 0u64);
         for trace in traces {
-            self.traces_processed += 1;
-            self.spans_processed += trace.len() as u64;
-            self.raw_trace_bytes += trace.wire_size() as u64;
             for span in trace.spans() {
                 min_start = min_start.min(span.start_time_us());
                 max_end = max_end.max(span.end_time_us());
             }
-            self.process_trace(trace);
+            self.ingest_trace(trace);
         }
 
-        let batch_duration_s = if max_end > min_start {
-            ((max_end - min_start) / 1_000_000).max(1)
-        } else {
-            1
-        };
+        let batch_duration_s = batch_duration_s(min_start, max_end);
         self.duration_s += batch_duration_s;
 
         // Periodic pattern-library uploads over the simulated duration of
         // this batch, plus the final upload that persists at the backend.
-        let intervals =
-            (batch_duration_s / self.config.pattern_report_interval_s.max(1)).max(1);
+        let intervals = (batch_duration_s / self.config.pattern_report_interval_s.max(1)).max(1);
         for (node, agent) in &self.agents {
             let library_bytes = agent.library_upload_bytes();
             self.collector
@@ -279,7 +279,16 @@ impl MintDeployment {
         }
     }
 
-    fn warm_up(&mut self, traces: &TraceSet) {
+    /// Warms up the per-service span parsers from `traces` (§3.2.1).
+    ///
+    /// [`MintDeployment::process`] calls this automatically before the first
+    /// batch.  It is public so a [`ShardedDeployment`](crate::ShardedDeployment)
+    /// can warm one deployment on the *full* batch and clone the resulting
+    /// agents into every shard — the exact warm-up a serial deployment
+    /// performs, which is what makes the sharded pipeline equivalent to the
+    /// serial one.
+    pub fn warm_up(&mut self, traces: &TraceSet) {
+        self.warmed_up = true;
         let mut per_service: HashMap<String, Vec<trace_model::Span>> = HashMap::new();
         for trace in traces {
             for span in trace.spans() {
@@ -296,6 +305,17 @@ impl MintDeployment {
                 .or_insert_with(|| MintAgent::new(service, self.config.clone()));
             agent.warm_up(&spans);
         }
+    }
+
+    /// Ingests a single trace: updates the workload counters and runs the
+    /// full agent → collector → backend path for it.  Unlike
+    /// [`MintDeployment::process`] this performs no warm-up and no end-of-batch
+    /// flush; sharded workers drive it directly.
+    pub fn ingest_trace(&mut self, trace: &Trace) {
+        self.traces_processed += 1;
+        self.spans_processed += trace.len() as u64;
+        self.raw_trace_bytes += trace.wire_size() as u64;
+        self.process_trace(trace);
     }
 
     fn process_trace(&mut self, trace: &Trace) {
@@ -332,11 +352,14 @@ impl MintDeployment {
             // Metadata mounting is charged at its amortized per-trace rate on
             // both the network and storage side; the filter objects
             // themselves flow to the backend for queryability.
-            self.collector.record_bloom_bytes(outcome.bloom_mounting_bytes);
-            self.backend.charge_bloom_bytes(outcome.bloom_mounting_bytes);
+            self.collector
+                .record_bloom_bytes(outcome.bloom_mounting_bytes);
+            self.backend
+                .charge_bloom_bytes(outcome.bloom_mounting_bytes);
             if let Some(bloom) = outcome.flushed_bloom {
                 self.collector.record_bloom_upload(&bloom);
-                self.backend.store_bloom(node.clone(), outcome.topo_id, bloom);
+                self.backend
+                    .store_bloom(node.clone(), outcome.topo_id, bloom);
             }
             touched_nodes.push(node);
         }
@@ -371,7 +394,9 @@ mod tests {
     fn workload(n: usize, abnormal: f64) -> TraceSet {
         TraceGenerator::new(
             online_boutique(),
-            GeneratorConfig::default().with_seed(21).with_abnormal_rate(abnormal),
+            GeneratorConfig::default()
+                .with_seed(21)
+                .with_abnormal_rate(abnormal),
         )
         .generate(n)
     }
@@ -403,7 +428,10 @@ mod tests {
             let mut mint = MintDeployment::new(MintConfig::default());
             mint.process(&workload(1_500, 0.05))
         };
-        assert_eq!(large.raw_trace_bytes, workload(1_500, 0.05).total_wire_size() as u64);
+        assert_eq!(
+            large.raw_trace_bytes,
+            workload(1_500, 0.05).total_wire_size() as u64
+        );
         assert!(
             large.storage_ratio() < small.storage_ratio(),
             "storage did not amortize: small {} large {}",
@@ -416,7 +444,11 @@ mod tests {
             small.network_ratio(),
             large.network_ratio()
         );
-        assert!(large.storage_ratio() < 0.6, "storage ratio {}", large.storage_ratio());
+        assert!(
+            large.storage_ratio() < 0.6,
+            "storage ratio {}",
+            large.storage_ratio()
+        );
     }
 
     #[test]
@@ -425,7 +457,11 @@ mod tests {
         let mut mint = MintDeployment::new(MintConfig::default());
         let report = mint.process(&traces);
         assert!(report.sampled_traces > 0);
-        assert!(report.sampling_rate() < 0.8, "rate {}", report.sampling_rate());
+        assert!(
+            report.sampling_rate() < 0.8,
+            "rate {}",
+            report.sampling_rate()
+        );
         // Abnormal traces should be retained exactly.
         let abnormal: Vec<_> = traces
             .iter()
@@ -463,7 +499,10 @@ mod tests {
         let report = mint.process(&traces);
         assert_eq!(report.sampled_traces, 80);
         assert!(report.network.params_bytes > 0);
-        assert!(mint.backend().query(traces.traces()[5].trace_id()).is_exact());
+        assert!(mint
+            .backend()
+            .query(traces.traces()[5].trace_id())
+            .is_exact());
     }
 
     #[test]
@@ -484,8 +523,16 @@ mod tests {
         let report = mint.process(&traces);
         // 500 traces over 8 APIs collapse into a few hundred span patterns
         // and a few dozen topology patterns at most.
-        assert!(report.span_patterns < 400, "span patterns {}", report.span_patterns);
-        assert!(report.topo_patterns < 120, "topo patterns {}", report.topo_patterns);
+        assert!(
+            report.span_patterns < 400,
+            "span patterns {}",
+            report.span_patterns
+        );
+        assert!(
+            report.topo_patterns < 120,
+            "topo patterns {}",
+            report.topo_patterns
+        );
         assert!(report.duration_s >= 1);
     }
 

@@ -112,7 +112,9 @@ mod tests {
     fn workload(n: usize) -> TraceSet {
         TraceGenerator::new(
             online_boutique(),
-            GeneratorConfig::default().with_seed(13).with_abnormal_rate(0.0),
+            GeneratorConfig::default()
+                .with_seed(13)
+                .with_abnormal_rate(0.0),
         )
         .generate(n)
     }

@@ -113,10 +113,7 @@ pub fn mint_compressed_size(
                 // raw; only trace ids / structure can still be aggregated.
                 for span in sub.spans() {
                     breakdown.params_bytes += span.wire_size() as u64;
-                    pattern_of.insert(
-                        span.span_id(),
-                        PatternId::from_u128(stable_span_key(span)),
-                    );
+                    pattern_of.insert(span.span_id(), PatternId::from_u128(stable_span_key(span)));
                 }
             }
 
@@ -171,7 +168,9 @@ mod tests {
     fn workload(n: usize) -> TraceSet {
         TraceGenerator::new(
             online_boutique(),
-            GeneratorConfig::default().with_seed(31).with_abnormal_rate(0.0),
+            GeneratorConfig::default()
+                .with_seed(31)
+                .with_abnormal_rate(0.0),
         )
         .generate(n)
     }
@@ -179,8 +178,7 @@ mod tests {
     #[test]
     fn full_mint_compresses_substantially() {
         let traces = workload(400);
-        let breakdown =
-            mint_compressed_size(&traces, &MintConfig::default(), true, true);
+        let breakdown = mint_compressed_size(&traces, &MintConfig::default(), true, true);
         // The wire-format raw size is already compact (binary); Mint still
         // shrinks it.  Against the textual rendering used by Table 4 the
         // ratio is an order of magnitude higher (see the compression
@@ -199,10 +197,18 @@ mod tests {
         let full = mint_compressed_size(&traces, &config, true, true);
         let without_span = mint_compressed_size(&traces, &config, false, true);
         let without_topo = mint_compressed_size(&traces, &config, true, false);
-        assert!(full.ratio() > without_span.ratio(),
-            "full {} vs w/o Sp {}", full.ratio(), without_span.ratio());
-        assert!(full.ratio() > without_topo.ratio(),
-            "full {} vs w/o Tp {}", full.ratio(), without_topo.ratio());
+        assert!(
+            full.ratio() > without_span.ratio(),
+            "full {} vs w/o Sp {}",
+            full.ratio(),
+            without_span.ratio()
+        );
+        assert!(
+            full.ratio() > without_topo.ratio(),
+            "full {} vs w/o Tp {}",
+            full.ratio(),
+            without_topo.ratio()
+        );
     }
 
     #[test]
@@ -225,8 +231,7 @@ mod tests {
 
     #[test]
     fn empty_input_has_zero_ratio() {
-        let breakdown =
-            mint_compressed_size(&TraceSet::new(), &MintConfig::default(), true, true);
+        let breakdown = mint_compressed_size(&TraceSet::new(), &MintConfig::default(), true, true);
         assert_eq!(breakdown.ratio(), 0.0);
         assert_eq!(breakdown.compressed_bytes(), 0);
     }

@@ -58,6 +58,9 @@ pub struct MintConfig {
     pub sampling_mode: SamplingMode,
     /// Head-sampling rate used when [`SamplingMode::Head`] is selected.
     pub head_sampling_rate: f64,
+    /// Number of ingest shards a [`ShardedDeployment`](crate::ShardedDeployment)
+    /// partitions traces across (1 = serial-equivalent single worker).
+    pub shard_count: usize,
 }
 
 impl Default for MintConfig {
@@ -84,6 +87,7 @@ impl Default for MintConfig {
             edge_case_max_frequency: 0.02,
             sampling_mode: SamplingMode::MintBiased,
             head_sampling_rate: 0.05,
+            shard_count: 1,
         }
     }
 }
@@ -110,6 +114,12 @@ impl MintConfig {
     /// Sets the warm-up sample size.
     pub fn with_warmup_sample_size(mut self, size: usize) -> Self {
         self.warmup_sample_size = size;
+        self
+    }
+
+    /// Sets the number of ingest shards (clamped to at least 1).
+    pub fn with_shard_count(mut self, shards: usize) -> Self {
+        self.shard_count = shards.max(1);
         self
     }
 

@@ -135,19 +135,40 @@ mod tests {
     #[test]
     fn add_accumulates() {
         let mut a = NetworkCost::default();
-        a.add(&NetworkCost { pattern_bytes: 1, bloom_bytes: 1, params_bytes: 1, other_bytes: 1 });
-        a.add(&NetworkCost { pattern_bytes: 2, bloom_bytes: 0, params_bytes: 0, other_bytes: 0 });
+        a.add(&NetworkCost {
+            pattern_bytes: 1,
+            bloom_bytes: 1,
+            params_bytes: 1,
+            other_bytes: 1,
+        });
+        a.add(&NetworkCost {
+            pattern_bytes: 2,
+            bloom_bytes: 0,
+            params_bytes: 0,
+            other_bytes: 0,
+        });
         assert_eq!(a.total_bytes(), 6);
         let mut s = StorageCost::default();
-        s.add(&StorageCost { pattern_bytes: 3, bloom_bytes: 0, params_bytes: 0, raw_bytes: 1 });
+        s.add(&StorageCost {
+            pattern_bytes: 3,
+            bloom_bytes: 0,
+            params_bytes: 0,
+            raw_bytes: 1,
+        });
         assert_eq!(s.total_bytes(), 4);
     }
 
     #[test]
     fn ratios_are_relative_to_raw_volume() {
         let report = CostReport {
-            network: NetworkCost { pattern_bytes: 10, ..Default::default() },
-            storage: StorageCost { params_bytes: 25, ..Default::default() },
+            network: NetworkCost {
+                pattern_bytes: 10,
+                ..Default::default()
+            },
+            storage: StorageCost {
+                params_bytes: 25,
+                ..Default::default()
+            },
             traces: 100,
             spans: 500,
             sampled_traces: 5,

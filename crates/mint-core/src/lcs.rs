@@ -93,7 +93,10 @@ mod tests {
             toks("INSERT INTO inventory (city, rb)"),
             vec!["INSERT", "INTO", "inventory", "(", "city", ",", "rb", ")"]
         );
-        assert_eq!(toks("/v1/campus/user=abc"), vec!["/", "v1", "/", "campus", "/", "user", "=", "abc"]);
+        assert_eq!(
+            toks("/v1/campus/user=abc"),
+            vec!["/", "v1", "/", "campus", "/", "user", "=", "abc"]
+        );
         assert_eq!(
             toks("worker-pool-17"),
             vec!["worker", "-", "pool", "-", "17"]

@@ -57,6 +57,7 @@ mod cost;
 mod lcs;
 mod params;
 mod samplers;
+mod sharded;
 pub mod span_parser;
 mod trace_parser;
 
@@ -70,6 +71,7 @@ pub use cost::{CostReport, NetworkCost, StorageCost};
 pub use lcs::{lcs_length, similarity, tokenize};
 pub use params::{ParamValue, ParamsBuffer, SpanParams, TraceParams};
 pub use samplers::{EdgeCaseSampler, HeadSampler, SamplerDecision, SymptomSampler};
+pub use sharded::{shard_of, ShardedDeployment};
 pub use span_parser::{
     AttrPattern, NumericBucketer, PatternCatalog, SpanParser, SpanPattern, SpanPatternLibrary,
     StringTemplate,

@@ -257,12 +257,34 @@ mod tests {
     fn param_value_sizes() {
         assert_eq!(ParamValue::Bool(true).wire_size(), 2);
         // Small integral offsets are varint-encoded: tag + bucket + offset.
-        assert_eq!(ParamValue::Num { bucket: 3, offset: 1.0 }.wire_size(), 3);
-        assert!(
-            ParamValue::Num { bucket: 3, offset: 123_456.0 }.wire_size()
-                > ParamValue::Num { bucket: 3, offset: 1.0 }.wire_size()
+        assert_eq!(
+            ParamValue::Num {
+                bucket: 3,
+                offset: 1.0
+            }
+            .wire_size(),
+            3
         );
-        assert_eq!(ParamValue::Num { bucket: 3, offset: 0.125 }.wire_size(), 10);
+        assert!(
+            ParamValue::Num {
+                bucket: 3,
+                offset: 123_456.0
+            }
+            .wire_size()
+                > ParamValue::Num {
+                    bucket: 3,
+                    offset: 1.0
+                }
+                .wire_size()
+        );
+        assert_eq!(
+            ParamValue::Num {
+                bucket: 3,
+                offset: 0.125
+            }
+            .wire_size(),
+            10
+        );
         assert!(ParamValue::StrVars(vec!["abc".into()]).wire_size() > 5);
         // Numeric string fragments are cheaper than arbitrary text.
         assert!(

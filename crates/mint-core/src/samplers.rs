@@ -354,7 +354,10 @@ mod tests {
         let a = HeadSampler::new(0.1);
         let b = HeadSampler::new(0.1);
         for i in 0..100u128 {
-            assert_eq!(a.decide(TraceId::from_u128(i)), b.decide(TraceId::from_u128(i)));
+            assert_eq!(
+                a.decide(TraceId::from_u128(i)),
+                b.decide(TraceId::from_u128(i))
+            );
         }
     }
 

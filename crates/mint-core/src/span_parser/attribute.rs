@@ -252,7 +252,10 @@ impl AttributeParser {
         match (self, value) {
             (AttributeParser::Strings(parser), AttrValue::Str(s)) => {
                 let (template_id, params) = parser.parse(s);
-                (AttrPattern::Template { template_id }, ParamValue::StrVars(params))
+                (
+                    AttrPattern::Template { template_id },
+                    ParamValue::StrVars(params),
+                )
             }
             (AttributeParser::Numeric(bucketer), value) if value.is_numeric() => {
                 let v = value.as_f64().expect("numeric value");
@@ -342,11 +345,7 @@ mod tests {
     #[test]
     fn prefix_index_candidates_prune_by_first_token() {
         let mut parser = StringAttributeParser::new(0.8);
-        for value in [
-            "SELECT * FROM a",
-            "UPDATE b SET x = 1",
-            "DELETE FROM c",
-        ] {
+        for value in ["SELECT * FROM a", "UPDATE b SET x = 1", "DELETE FROM c"] {
             parser.parse(value);
         }
         let tokens = tokenize("SELECT * FROM zzz");

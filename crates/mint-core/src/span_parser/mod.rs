@@ -50,11 +50,7 @@ impl SpanPattern {
     pub fn stored_size(&self) -> usize {
         16 + self.service.len()
             + self.name.len()
-            + self
-                .attrs
-                .iter()
-                .map(|(k, _)| k.len() + 10)
-                .sum::<usize>()
+            + self.attrs.iter().map(|(k, _)| k.len() + 10).sum::<usize>()
     }
 }
 
@@ -80,13 +76,19 @@ impl DurationStats {
         self.sum_us += duration_us;
     }
 
+    /// Folds another statistic into this one (used when merging per-shard
+    /// pattern libraries: every span is observed by exactly one shard, so the
+    /// merged statistic equals the one a serial deployment would compute).
+    pub fn merge(&mut self, other: &DurationStats) {
+        self.count += other.count;
+        self.min_us = self.min_us.min(other.min_us);
+        self.max_us = self.max_us.max(other.max_us);
+        self.sum_us += other.sum_us;
+    }
+
     /// The mean observed duration.
     pub fn mean_us(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            self.sum_us / self.count
-        }
+        self.sum_us.checked_div(self.count).unwrap_or(0)
     }
 }
 
@@ -134,6 +136,23 @@ impl SpanPatternLibrary {
         (id, true)
     }
 
+    /// Inserts `pattern` (if new) and folds `stats` into its duration
+    /// statistics.  Used to merge shard-local libraries into a canonical one:
+    /// ids are assigned in absorption order, so callers must record the
+    /// returned id to remap shard-local references.
+    pub fn absorb(&mut self, pattern: SpanPattern, stats: DurationStats) -> PatternId {
+        if let Some(&id) = self.by_pattern.get(&pattern) {
+            let index = (id.as_u128() - 1) as usize;
+            self.durations[index].merge(&stats);
+            return id;
+        }
+        let id = PatternId::from_u128(self.by_id.len() as u128 + 1);
+        self.by_pattern.insert(pattern.clone(), id);
+        self.by_id.push(pattern);
+        self.durations.push(stats);
+        id
+    }
+
     /// Looks up a pattern by id.
     pub fn get(&self, id: PatternId) -> Option<&SpanPattern> {
         let index = id.as_u128().checked_sub(1)? as usize;
@@ -166,7 +185,11 @@ impl SpanPatternLibrary {
 
     /// Total bytes of all stored patterns (duration statistics included).
     pub fn stored_size(&self) -> usize {
-        self.by_id.iter().map(SpanPattern::stored_size).sum::<usize>() + self.durations.len() * 16
+        self.by_id
+            .iter()
+            .map(SpanPattern::stored_size)
+            .sum::<usize>()
+            + self.durations.len() * 16
     }
 }
 
@@ -404,7 +427,10 @@ impl SpanParser {
 
     /// Total number of attribute-level patterns (string templates) learned.
     pub fn attribute_pattern_count(&self) -> usize {
-        self.attr_parsers.values().map(AttributeParser::pattern_count).sum()
+        self.attr_parsers
+            .values()
+            .map(AttributeParser::pattern_count)
+            .sum()
     }
 
     /// Bytes needed to store the full pattern library (span patterns plus
@@ -416,6 +442,19 @@ impl SpanParser {
                 .values()
                 .map(AttributeParser::stored_size)
                 .sum::<usize>()
+    }
+
+    /// Stored bytes of the closed-form (numeric and boolean) attribute
+    /// parsers, per key.  String parsers are excluded: their templates are in
+    /// the catalog and merged by content across shards.
+    pub fn scalar_parser_sizes(&self) -> Vec<(String, usize)> {
+        self.attr_parsers
+            .iter()
+            .filter_map(|(key, parser)| match parser {
+                AttributeParser::Strings(_) => None,
+                other => Some((key.clone(), other.stored_size())),
+            })
+            .collect()
     }
 
     /// Builds the read-only catalog snapshot for reporting / querying.
@@ -459,7 +498,7 @@ mod tests {
                 AttrValue::Str(format!("SELECT * FROM orders WHERE id = {sql_id}")),
             )
             .attr("db.rows", AttrValue::Int(40 + (sql_id % 10) as i64))
-            .attr("cache.hit", AttrValue::Bool(sql_id % 2 == 0))
+            .attr("cache.hit", AttrValue::Bool(sql_id.is_multiple_of(2)))
             .build()
     }
 
@@ -534,15 +573,32 @@ mod tests {
         assert_eq!(rebuilt.duration_us(), original.duration_us());
         assert_eq!(
             rebuilt.attributes().get("db.rows").unwrap().as_f64(),
-            Some(original.attributes().get("db.rows").unwrap().as_f64().unwrap())
+            Some(
+                original
+                    .attributes()
+                    .get("db.rows")
+                    .unwrap()
+                    .as_f64()
+                    .unwrap()
+            )
         );
         assert_eq!(
             rebuilt.attributes().get("cache.hit"),
             original.attributes().get("cache.hit")
         );
         // String attribute round-trips at token level.
-        let original_sql = original.attributes().get("sql.query").unwrap().as_str().unwrap();
-        let rebuilt_sql = rebuilt.attributes().get("sql.query").unwrap().as_str().unwrap();
+        let original_sql = original
+            .attributes()
+            .get("sql.query")
+            .unwrap()
+            .as_str()
+            .unwrap();
+        let rebuilt_sql = rebuilt
+            .attributes()
+            .get("sql.query")
+            .unwrap()
+            .as_str()
+            .unwrap();
         assert_eq!(
             crate::lcs::tokenize(rebuilt_sql),
             crate::lcs::tokenize(original_sql)

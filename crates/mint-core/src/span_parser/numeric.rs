@@ -88,7 +88,11 @@ impl NumericBucketer {
         if bucket == NON_POSITIVE_BUCKET {
             "(-inf, 0]".to_owned()
         } else {
-            format!("({:.0}, {:.0}]", self.lower_bound(bucket), self.upper_bound(bucket))
+            format!(
+                "({:.0}, {:.0}]",
+                self.lower_bound(bucket),
+                self.upper_bound(bucket)
+            )
         }
     }
 }

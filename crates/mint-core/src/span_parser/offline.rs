@@ -95,9 +95,7 @@ mod tests {
         let templates = cluster_strings(&values, 0.8);
         assert_eq!(templates.len(), 1);
         for value in values {
-            assert!(templates[0]
-                .match_and_extract(&tokenize(value))
-                .is_some());
+            assert!(templates[0].match_and_extract(&tokenize(value)).is_some());
         }
     }
 }

@@ -305,7 +305,11 @@ fn merge(template: &[TemplateToken], tokens: &[String]) -> Vec<TemplateToken> {
 /// single place exercising the generic LCS against template merging.
 #[allow(dead_code)]
 fn template_lcs(template: &StringTemplate, tokens: &[String]) -> usize {
-    let consts: Vec<String> = template.const_tokens().iter().map(|s| s.to_string()).collect();
+    let consts: Vec<String> = template
+        .const_tokens()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     lcs_length(&consts, tokens)
 }
 
@@ -354,7 +358,10 @@ mod tests {
 
     #[test]
     fn match_and_extract_returns_slot_contents() {
-        let t = template_from(&["select * from A where id = 1", "select * from B where id = 2"]);
+        let t = template_from(&[
+            "select * from A where id = 1",
+            "select * from B where id = 2",
+        ]);
         let params = t
             .match_and_extract(&tokenize("select * from orders where id = 42"))
             .unwrap();
@@ -378,7 +385,10 @@ mod tests {
 
     #[test]
     fn reconstruct_roundtrips_token_content() {
-        let t = template_from(&["select * from A where id = 1", "select * from B where id = 2"]);
+        let t = template_from(&[
+            "select * from A where id = 1",
+            "select * from B where id = 2",
+        ]);
         let original = "select * from shipments where id = 777";
         let tokens = tokenize(original);
         let params = t.match_and_extract(&tokens).unwrap();

@@ -212,6 +212,19 @@ impl TopoPatternLibrary {
             .map(|(i, e)| (PatternId::from_u128(i as u128 + 1), &e.pattern, e.matches))
     }
 
+    /// Clones the current (partial, non-empty) Bloom filters without
+    /// resetting them, as `(pattern id, filter)` pairs.  The sharded merge
+    /// step uses this to publish every shard's mounted metadata while leaving
+    /// the shard's own state untouched, so repeated merges stay correct.
+    pub fn partial_blooms(&self) -> Vec<(PatternId, BloomFilter)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, entry)| !entry.bloom.is_empty())
+            .map(|(i, entry)| (PatternId::from_u128(i as u128 + 1), entry.bloom.clone()))
+            .collect()
+    }
+
     /// Drains the current (partial) Bloom filters for a final upload,
     /// returning `(pattern id, filter)` pairs for non-empty filters.
     pub fn drain_partial_blooms(&mut self) -> Vec<(PatternId, BloomFilter)> {
@@ -253,7 +266,12 @@ mod tests {
             .collect();
         let mapping = shape
             .iter()
-            .map(|&(id, _)| (SpanId::from_u64(id), PatternId::from_u128((id % 3 + 1) as u128)))
+            .map(|&(id, _)| {
+                (
+                    SpanId::from_u64(id),
+                    PatternId::from_u128((id % 3 + 1) as u128),
+                )
+            })
             .collect();
         (SubTrace::new(tid, "svc", spans), mapping)
     }
@@ -308,8 +326,10 @@ mod tests {
 
     #[test]
     fn bloom_flushes_when_full() {
-        let mut config = MintConfig::default();
-        config.bloom_buffer_bytes = 64; // tiny filter so it fills quickly
+        let config = MintConfig {
+            bloom_buffer_bytes: 64, // tiny filter so it fills quickly
+            ..MintConfig::default()
+        };
         let parser = TraceParser::new();
         let mut library = TopoPatternLibrary::new(&config);
         let mut flushed = 0;

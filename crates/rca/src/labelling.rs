@@ -58,8 +58,7 @@ pub fn label_anomalous(views: &[TraceView]) -> Vec<LabelledTrace> {
         .iter()
         .map(|view| {
             let median = medians.get(&entry_key(view)).copied().unwrap_or(1.0);
-            let anomalous =
-                view.has_error() || view.duration_us as f64 > median * LATENCY_FACTOR;
+            let anomalous = view.has_error() || view.duration_us as f64 > median * LATENCY_FACTOR;
             LabelledTrace {
                 view: view.clone(),
                 anomalous,

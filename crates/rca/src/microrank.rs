@@ -72,7 +72,11 @@ impl RcaMethod for MicroRank {
             let ep = covered_normal.get(service).copied().unwrap_or(0.0);
             let nf = (total_anomalous - ef).max(0.0);
             let denominator = ((ef + nf) * (ef + ep)).sqrt();
-            let score = if denominator > 0.0 { ef / denominator } else { 0.0 };
+            let score = if denominator > 0.0 {
+                ef / denominator
+            } else {
+                0.0
+            };
             scores.insert(service.clone(), score);
         }
         sorted_ranking(scores)
@@ -93,7 +97,11 @@ mod tests {
             .map(|s| SpanView {
                 service: (*s).to_owned(),
                 operation: format!("{s}-op"),
-                duration_us: if Some(*s) == slow_service { 80_000 } else { 1_000 },
+                duration_us: if Some(*s) == slow_service {
+                    80_000
+                } else {
+                    1_000
+                },
                 is_error: Some(*s) == slow_service,
             })
             .collect();
@@ -140,7 +148,10 @@ mod tests {
         let labelled = label_anomalous(&views);
         let ranking = MicroRank.rank(&labelled);
         let top_score = ranking[0].1;
-        let tied = ranking.iter().filter(|(_, s)| (s - top_score).abs() < 1e-9).count();
+        let tied = ranking
+            .iter()
+            .filter(|(_, s)| (s - top_score).abs() < 1e-9)
+            .count();
         assert!(tied >= 2, "expected ambiguity, got {ranking:?}");
     }
 

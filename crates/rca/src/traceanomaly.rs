@@ -109,7 +109,11 @@ mod tests {
             .map(|s| SpanView {
                 service: (*s).to_owned(),
                 operation: format!("{s}-op"),
-                duration_us: if Some(*s) == slow_service { 90_000 } else { 1_200 },
+                duration_us: if Some(*s) == slow_service {
+                    90_000
+                } else {
+                    1_200
+                },
                 is_error: error && Some(*s) == slow_service,
             })
             .collect();
@@ -141,14 +145,19 @@ mod tests {
 
     #[test]
     fn without_normal_templates_scores_collapse() {
-        let views: Vec<TraceView> = (0..10u128).map(|i| view(i, Some("search"), false)).collect();
+        let views: Vec<TraceView> = (0..10u128)
+            .map(|i| view(i, Some("search"), false))
+            .collect();
         let labelled = label_anomalous(&views);
         let ranking = TraceAnomaly.rank(&labelled);
         // Every anomalous span gets the same weak evidence, so the culprit is
         // not reliably separated from the rest.
         if !ranking.is_empty() {
             let top = ranking[0].1;
-            let tied = ranking.iter().filter(|(_, s)| (s - top).abs() < 1e-9).count();
+            let tied = ranking
+                .iter()
+                .filter(|(_, s)| (s - top).abs() < 1e-9)
+                .count();
             assert!(tied >= 2 || top < 1.0, "{ranking:?}");
         }
     }

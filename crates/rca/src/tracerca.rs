@@ -52,7 +52,11 @@ impl RcaMethod for TraceRca {
         let mut misbehaving_total: HashMap<String, f64> = HashMap::new();
         for trace in traces {
             for span in &trace.view.spans {
-                let mean = means.get(span.service.as_str()).copied().unwrap_or(1.0).max(1.0);
+                let mean = means
+                    .get(span.service.as_str())
+                    .copied()
+                    .unwrap_or(1.0)
+                    .max(1.0);
                 let ratio = span.duration_us as f64 / mean;
                 let misbehaving = span.is_error || ratio > self.slow_factor;
                 if !misbehaving {
@@ -61,7 +65,11 @@ impl RcaMethod for TraceRca {
                 // Evidence is proportional to how badly the span misbehaves,
                 // so the root cause outweighs callers that merely inherit its
                 // latency.
-                let weight = if span.is_error { 10.0 } else { ratio.clamp(1.0, 10.0) };
+                let weight = if span.is_error {
+                    10.0
+                } else {
+                    ratio.clamp(1.0, 10.0)
+                };
                 *misbehaving_total.entry(span.service.clone()).or_insert(0.0) += weight;
                 if trace.anomalous {
                     *misbehaving_in_anomalous
@@ -99,7 +107,11 @@ mod tests {
             .map(|s| SpanView {
                 service: (*s).to_owned(),
                 operation: format!("{s}-op"),
-                duration_us: if Some(*s) == slow_service { 60_000 } else { 900 },
+                duration_us: if Some(*s) == slow_service {
+                    60_000
+                } else {
+                    900
+                },
                 is_error: false,
             })
             .collect();

@@ -46,7 +46,11 @@ impl Attributes {
     /// Inserts or replaces the value stored under `key`.
     ///
     /// Returns the previous value if the key was already present.
-    pub fn insert(&mut self, key: impl Into<AttrKey>, value: impl Into<AttrValue>) -> Option<AttrValue> {
+    pub fn insert(
+        &mut self,
+        key: impl Into<AttrKey>,
+        value: impl Into<AttrValue>,
+    ) -> Option<AttrValue> {
         let key = key.into();
         let value = value.into();
         if let Some(slot) = self.entries.iter_mut().find(|(k, _)| *k == key) {
@@ -59,10 +63,7 @@ impl Attributes {
 
     /// Returns the value stored under `key`, if any.
     pub fn get(&self, key: &str) -> Option<&AttrValue> {
-        self.entries
-            .iter()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v)
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
     }
 
     /// Removes and returns the value stored under `key`.
@@ -147,7 +148,10 @@ mod tests {
         let mut attrs = Attributes::new();
         assert!(attrs.insert("a", AttrValue::Int(1)).is_none());
         assert_eq!(attrs.get("a"), Some(&AttrValue::Int(1)));
-        assert_eq!(attrs.insert("a", AttrValue::Int(2)), Some(AttrValue::Int(1)));
+        assert_eq!(
+            attrs.insert("a", AttrValue::Int(2)),
+            Some(AttrValue::Int(1))
+        );
         assert_eq!(attrs.get("a"), Some(&AttrValue::Int(2)));
         assert_eq!(attrs.len(), 1);
     }

@@ -170,7 +170,10 @@ mod tests {
         let sub = SubTrace::new(
             tid(),
             "cart",
-            vec![span(3, 2, "cart", SpanKind::Server), span(4, 3, "cart", SpanKind::Internal)],
+            vec![
+                span(3, 2, "cart", SpanKind::Server),
+                span(4, 3, "cart", SpanKind::Internal),
+            ],
         );
         let entries = sub.entry_spans();
         assert_eq!(entries.len(), 1);
@@ -182,7 +185,10 @@ mod tests {
         let sub = SubTrace::new(
             tid(),
             "cart",
-            vec![span(3, 2, "cart", SpanKind::Server), span(4, 3, "cart", SpanKind::Client)],
+            vec![
+                span(3, 2, "cart", SpanKind::Server),
+                span(4, 3, "cart", SpanKind::Client),
+            ],
         );
         let exits = sub.exit_spans();
         assert_eq!(exits.len(), 1);

@@ -81,7 +81,13 @@ mod tests {
     fn span_line_contains_all_metadata() {
         let trace = sample_trace();
         let line = render_span_text(&trace.spans()[0]);
-        for needle in ["trace_id=", "span_id=", "kind=server", "service=gw", "sql.query=select * from A"] {
+        for needle in [
+            "trace_id=",
+            "span_id=",
+            "kind=server",
+            "service=gw",
+            "sql.query=select * from A",
+        ] {
             assert!(line.contains(needle), "missing {needle} in {line}");
         }
         assert!(!line.contains('\n'));

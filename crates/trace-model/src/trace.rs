@@ -144,8 +144,18 @@ impl Trace {
         if let Some(root) = self.root() {
             return root.duration_us();
         }
-        let start = self.spans.iter().map(|s| s.start_time_us()).min().unwrap_or(0);
-        let end = self.spans.iter().map(|s| s.end_time_us()).max().unwrap_or(0);
+        let start = self
+            .spans
+            .iter()
+            .map(|s| s.start_time_us())
+            .min()
+            .unwrap_or(0);
+        let end = self
+            .spans
+            .iter()
+            .map(|s| s.end_time_us())
+            .max()
+            .unwrap_or(0);
         end.saturating_sub(start)
     }
 
@@ -313,12 +323,19 @@ mod tests {
     }
 
     fn three_span_trace() -> Trace {
-        Trace::from_spans(tid(), vec![span(1, 0, "a"), span(2, 1, "b"), span(3, 1, "c")]).unwrap()
+        Trace::from_spans(
+            tid(),
+            vec![span(1, 0, "a"), span(2, 1, "b"), span(3, 1, "c")],
+        )
+        .unwrap()
     }
 
     #[test]
     fn from_spans_rejects_empty() {
-        assert_eq!(Trace::from_spans(tid(), vec![]), Err(ModelError::EmptyTrace));
+        assert_eq!(
+            Trace::from_spans(tid(), vec![]),
+            Err(ModelError::EmptyTrace)
+        );
     }
 
     #[test]
@@ -347,8 +364,7 @@ mod tests {
     fn coherence_detects_missing_parent() {
         let trace = three_span_trace();
         assert!(trace.is_coherent());
-        let broken =
-            Trace::from_spans(tid(), vec![span(1, 0, "a"), span(3, 9, "c")]).unwrap();
+        let broken = Trace::from_spans(tid(), vec![span(1, 0, "a"), span(3, 9, "c")]).unwrap();
         assert!(!broken.is_coherent());
     }
 
@@ -363,7 +379,12 @@ mod tests {
     fn depth_counts_levels() {
         let deep = Trace::from_spans(
             tid(),
-            vec![span(1, 0, "a"), span(2, 1, "b"), span(3, 2, "c"), span(4, 3, "d")],
+            vec![
+                span(1, 0, "a"),
+                span(2, 1, "b"),
+                span(3, 2, "c"),
+                span(4, 3, "d"),
+            ],
         )
         .unwrap();
         assert_eq!(deep.depth(), 4);

@@ -86,7 +86,11 @@ mod tests {
     fn view_flattens_trace() {
         let tid = TraceId::from_u128(9);
         let mut spans = vec![
-            Span::builder(tid, SpanId::from_u64(1)).service("a").name("root").duration_us(100).build(),
+            Span::builder(tid, SpanId::from_u64(1))
+                .service("a")
+                .name("root")
+                .duration_us(100)
+                .build(),
             Span::builder(tid, SpanId::from_u64(2))
                 .parent(SpanId::from_u64(1))
                 .service("b")

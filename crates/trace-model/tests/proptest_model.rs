@@ -21,13 +21,14 @@ fn arb_span(trace_id: u128, span_id: u64, parent: u64) -> impl Strategy<Value = 
         proptest::collection::vec(("[a-z.]{1,16}", arb_attr_value()), 0..8),
     )
         .prop_map(move |(name, service, start, dur, attrs)| {
-            let mut builder = Span::builder(TraceId::from_u128(trace_id), SpanId::from_u64(span_id))
-                .parent(SpanId::from_u64(parent))
-                .name(name)
-                .service(service)
-                .kind(SpanKind::Server)
-                .start_time_us(start)
-                .duration_us(dur);
+            let mut builder =
+                Span::builder(TraceId::from_u128(trace_id), SpanId::from_u64(span_id))
+                    .parent(SpanId::from_u64(parent))
+                    .name(name)
+                    .service(service)
+                    .kind(SpanKind::Server)
+                    .start_time_us(start)
+                    .duration_us(dur);
             for (k, v) in attrs {
                 builder = builder.attr(k, v);
             }

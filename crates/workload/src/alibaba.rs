@@ -63,12 +63,42 @@ impl DatasetSpec {
 
 /// The six datasets of Fig. 13.
 pub const ALIBABA_DATASETS: [DatasetSpec; 6] = [
-    DatasetSpec { name: "A", trace_number: 142_217, api_number: 2, average_depth: 6 },
-    DatasetSpec { name: "B", trace_number: 842_103, api_number: 4, average_depth: 11 },
-    DatasetSpec { name: "C", trace_number: 1_652_214, api_number: 4, average_depth: 52 },
-    DatasetSpec { name: "D", trace_number: 256_477, api_number: 6, average_depth: 15 },
-    DatasetSpec { name: "E", trace_number: 1_143_529, api_number: 6, average_depth: 28 },
-    DatasetSpec { name: "F", trace_number: 1_874_583, api_number: 8, average_depth: 23 },
+    DatasetSpec {
+        name: "A",
+        trace_number: 142_217,
+        api_number: 2,
+        average_depth: 6,
+    },
+    DatasetSpec {
+        name: "B",
+        trace_number: 842_103,
+        api_number: 4,
+        average_depth: 11,
+    },
+    DatasetSpec {
+        name: "C",
+        trace_number: 1_652_214,
+        api_number: 4,
+        average_depth: 52,
+    },
+    DatasetSpec {
+        name: "D",
+        trace_number: 256_477,
+        api_number: 6,
+        average_depth: 15,
+    },
+    DatasetSpec {
+        name: "E",
+        trace_number: 1_143_529,
+        api_number: 6,
+        average_depth: 28,
+    },
+    DatasetSpec {
+        name: "F",
+        trace_number: 1_874_583,
+        api_number: 8,
+        average_depth: 23,
+    },
 ];
 
 /// Looks up a dataset by its letter name.
@@ -125,16 +155,44 @@ impl SubServiceSpec {
 
 /// The five sub-services of Table 5.
 pub const ALIBABA_SUB_SERVICES: [SubServiceSpec; 5] = [
-    SubServiceSpec { name: "S1", raw_trace_number: 146_985, span_pattern_number: 11, trace_pattern_number: 8 },
-    SubServiceSpec { name: "S2", raw_trace_number: 126_245, span_pattern_number: 10, trace_pattern_number: 8 },
-    SubServiceSpec { name: "S3", raw_trace_number: 93_546, span_pattern_number: 14, trace_pattern_number: 5 },
-    SubServiceSpec { name: "S4", raw_trace_number: 92_527, span_pattern_number: 7, trace_pattern_number: 3 },
-    SubServiceSpec { name: "S5", raw_trace_number: 79_179, span_pattern_number: 9, trace_pattern_number: 3 },
+    SubServiceSpec {
+        name: "S1",
+        raw_trace_number: 146_985,
+        span_pattern_number: 11,
+        trace_pattern_number: 8,
+    },
+    SubServiceSpec {
+        name: "S2",
+        raw_trace_number: 126_245,
+        span_pattern_number: 10,
+        trace_pattern_number: 8,
+    },
+    SubServiceSpec {
+        name: "S3",
+        raw_trace_number: 93_546,
+        span_pattern_number: 14,
+        trace_pattern_number: 5,
+    },
+    SubServiceSpec {
+        name: "S4",
+        raw_trace_number: 92_527,
+        span_pattern_number: 7,
+        trace_pattern_number: 3,
+    },
+    SubServiceSpec {
+        name: "S5",
+        raw_trace_number: 79_179,
+        span_pattern_number: 9,
+        trace_pattern_number: 3,
+    },
 ];
 
 /// Looks up a sub-service by name (`"S1"` … `"S5"`).
 pub fn alibaba_sub_service(name: &str) -> Option<SubServiceSpec> {
-    ALIBABA_SUB_SERVICES.iter().copied().find(|s| s.name == name)
+    ALIBABA_SUB_SERVICES
+        .iter()
+        .copied()
+        .find(|s| s.name == name)
 }
 
 /// Builds a layered synthetic application.
@@ -174,10 +232,24 @@ pub fn layered_application(
     }
 
     let table_names = [
-        "orders", "inventory", "users", "payments", "shipments", "coupons", "sessions", "audit",
+        "orders",
+        "inventory",
+        "users",
+        "payments",
+        "shipments",
+        "coupons",
+        "sessions",
+        "audit",
     ];
     let resource_names = [
-        "campus", "cart", "catalog", "billing", "profile", "search", "recommend", "settlement",
+        "campus",
+        "cart",
+        "catalog",
+        "billing",
+        "profile",
+        "search",
+        "recommend",
+        "settlement",
     ];
 
     let mut services = Vec::new();
@@ -186,7 +258,11 @@ pub fn layered_application(
         for slot in 0..width {
             let op_name = format!("l{layer}-op{slot}");
             let mut op = OperationSpec::new(op_name)
-                .kind(if layer == 0 { SpanKind::Server } else { SpanKind::Internal })
+                .kind(if layer == 0 {
+                    SpanKind::Server
+                } else {
+                    SpanKind::Internal
+                })
                 .latency(LatencyModel::new(250 + 30 * layer as u64, 100));
             // Shared "detailed production span" attributes: every operation
             // carries rich metadata the way the paper describes production
@@ -299,7 +375,10 @@ pub fn layered_application(
             if layer + 1 < layer_widths.len() {
                 let next_width = layer_widths[layer + 1];
                 let primary = slot % next_width;
-                op = op.call(format!("{name}-l{}", layer + 1), format!("l{}-op{}", layer + 1, primary));
+                op = op.call(
+                    format!("{name}-l{}", layer + 1),
+                    format!("l{}-op{}", layer + 1, primary),
+                );
                 // A little fan-out on even slots of the entry layer to vary
                 // topology shapes between APIs.
                 if layer == 0 && slot % 2 == 0 && next_width > 1 {
@@ -471,6 +550,8 @@ mod tests {
         let mean_storage: f64 =
             services.iter().map(|s| s.storage_gb_per_day).sum::<f64>() / services.len() as f64;
         assert!((7_000.0..8_200.0).contains(&mean_storage));
-        assert!(services.iter().any(|s| s.tracing_bandwidth_mb_per_min >= 100.0));
+        assert!(services
+            .iter()
+            .any(|s| s.tracing_bandwidth_mb_per_min >= 100.0));
     }
 }

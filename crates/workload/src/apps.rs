@@ -20,11 +20,7 @@ fn rpc_attrs(service: &str, method: &str) -> Vec<AttrTemplate> {
         AttrTemplate::const_str("rpc.service", service.to_owned()),
         AttrTemplate::const_str("rpc.method", method.to_owned()),
         AttrTemplate::int_range("rpc.grpc.status_code", 0, 0),
-        AttrTemplate::pattern(
-            "thread.name",
-            "grpc-executor-{}",
-            [VarSlot::number(1, 32)],
-        ),
+        AttrTemplate::pattern("thread.name", "grpc-executor-{}", [VarSlot::number(1, 32)]),
     ]
 }
 
@@ -38,10 +34,11 @@ fn http_attrs(route: &str) -> Vec<AttrTemplate> {
         ),
         AttrTemplate::const_str("http.flavor", "1.1"),
         AttrTemplate::int_range("http.status_code", 200, 200),
-        AttrTemplate::pattern("net.peer.ip", "10.0.{}.{}", [
-            VarSlot::number(0, 255),
-            VarSlot::number(1, 254),
-        ]),
+        AttrTemplate::pattern(
+            "net.peer.ip",
+            "10.0.{}.{}",
+            [VarSlot::number(0, 255), VarSlot::number(1, 254)],
+        ),
     ]
 }
 
@@ -151,7 +148,9 @@ pub fn online_boutique() -> Application {
                 .attr(AttrTemplate::pattern(
                     "app.query",
                     "q={}",
-                    [VarSlot::word(["vintage", "camera", "bike", "candle", "watch"])],
+                    [VarSlot::word([
+                        "vintage", "camera", "bike", "candle", "watch",
+                    ])],
                 )),
         );
 
@@ -159,7 +158,11 @@ pub fn online_boutique() -> Application {
         .operation(
             OperationSpec::new("GetCart")
                 .latency(LatencyModel::new(300, 800))
-                .attr(AttrTemplate::pattern("app.user.id", "user-{}", [VarSlot::hex_id(10)]))
+                .attr(AttrTemplate::pattern(
+                    "app.user.id",
+                    "user-{}",
+                    [VarSlot::hex_id(10)],
+                ))
                 .attr(AttrTemplate::const_str("db.system", "redis"))
                 .attr(AttrTemplate::pattern(
                     "db.statement",
@@ -170,7 +173,11 @@ pub fn online_boutique() -> Application {
         .operation(
             OperationSpec::new("AddItem")
                 .latency(LatencyModel::new(350, 900))
-                .attr(AttrTemplate::pattern("app.user.id", "user-{}", [VarSlot::hex_id(10)]))
+                .attr(AttrTemplate::pattern(
+                    "app.user.id",
+                    "user-{}",
+                    [VarSlot::hex_id(10)],
+                ))
                 .attr(AttrTemplate::int_range("app.item.quantity", 1, 10))
                 .attr(AttrTemplate::const_str("db.system", "redis"))
                 .attr(AttrTemplate::pattern(
@@ -199,7 +206,10 @@ pub fn online_boutique() -> Application {
             OperationSpec::new("Convert")
                 .latency(LatencyModel::new(150, 400))
                 .attrs_from(rpc_attrs("CurrencyService", "Convert"))
-                .attr(AttrTemplate::choice("app.currency.target", ["USD", "EUR", "JPY", "CAD"]))
+                .attr(AttrTemplate::choice(
+                    "app.currency.target",
+                    ["USD", "EUR", "JPY", "CAD"],
+                ))
                 .attr(AttrTemplate::float_range("app.currency.rate", 0.4, 2.1)),
         );
 
@@ -248,7 +258,11 @@ pub fn online_boutique() -> Application {
         OperationSpec::new("PlaceOrder")
             .latency(LatencyModel::new(1_000, 2_500))
             .attrs_from(rpc_attrs("CheckoutService", "PlaceOrder"))
-            .attr(AttrTemplate::pattern("app.order.id", "order-{}", [VarSlot::hex_id(12)]))
+            .attr(AttrTemplate::pattern(
+                "app.order.id",
+                "order-{}",
+                [VarSlot::hex_id(12)],
+            ))
             .call("cartservice", "GetCart")
             .call("productcatalogservice", "GetProduct")
             .call("shippingservice", "GetQuote")
@@ -289,11 +303,23 @@ pub fn online_boutique() -> Application {
         .service(recommendation)
         .service(ads)
         .api("home", CallSpec::new("frontend", "GET /"), 30.0)
-        .api("browse-product", CallSpec::new("frontend", "GET /product"), 25.0)
+        .api(
+            "browse-product",
+            CallSpec::new("frontend", "GET /product"),
+            25.0,
+        )
         .api("view-cart", CallSpec::new("frontend", "GET /cart"), 12.0)
         .api("add-to-cart", CallSpec::new("frontend", "POST /cart"), 15.0)
-        .api("checkout", CallSpec::new("frontend", "POST /cart/checkout"), 8.0)
-        .api("set-currency", CallSpec::new("frontend", "POST /setCurrency"), 5.0)
+        .api(
+            "checkout",
+            CallSpec::new("frontend", "POST /cart/checkout"),
+            8.0,
+        )
+        .api(
+            "set-currency",
+            CallSpec::new("frontend", "POST /setCurrency"),
+            5.0,
+        )
         .api(
             "search",
             CallSpec::new("productcatalogservice", "SearchProducts"),
@@ -408,9 +434,7 @@ pub fn train_ticket() -> Application {
                         .latency(LatencyModel::new(450, 1_200))
                         .attr(AttrTemplate::pattern(
                             "db.statement",
-                            &format!(
-                                "UPDATE {table} SET status = {{}} WHERE id = {{}}"
-                            ),
+                            &format!("UPDATE {table} SET status = {{}} WHERE id = {{}}"),
                             [VarSlot::number(0, 5), VarSlot::number(1, 2_000_000)],
                         ))
                         .attr(AttrTemplate::const_str("db.system", "mysql")),
@@ -441,13 +465,24 @@ pub fn train_ticket() -> Application {
     };
 
     // Dashboard -> gateway -> auth for every user flow.
-    add_calls("ts-ui-dashboard", "query", vec![("ts-gateway-service", "query")]);
+    add_calls(
+        "ts-ui-dashboard",
+        "query",
+        vec![("ts-gateway-service", "query")],
+    );
     add_calls(
         "ts-gateway-service",
         "query",
-        vec![("ts-auth-service", "query"), ("ts-verification-code-service", "query")],
+        vec![
+            ("ts-auth-service", "query"),
+            ("ts-verification-code-service", "query"),
+        ],
     );
-    add_calls("ts-auth-service", "query", vec![("ts-user-service", "query")]);
+    add_calls(
+        "ts-auth-service",
+        "query",
+        vec![("ts-user-service", "query")],
+    );
 
     // Travel query flow.
     add_calls(
@@ -469,8 +504,16 @@ pub fn train_ticket() -> Application {
             ("ts-route-plan-service", "query"),
         ],
     );
-    add_calls("ts-route-plan-service", "query", vec![("ts-route-service", "query")]);
-    add_calls("ts-ticketinfo-service", "query", vec![("ts-basic-service", "query")]);
+    add_calls(
+        "ts-route-plan-service",
+        "query",
+        vec![("ts-route-service", "query")],
+    );
+    add_calls(
+        "ts-ticketinfo-service",
+        "query",
+        vec![("ts-basic-service", "query")],
+    );
     add_calls(
         "ts-basic-service",
         "query",
@@ -480,8 +523,19 @@ pub fn train_ticket() -> Application {
             ("ts-price-service", "query"),
         ],
     );
-    add_calls("ts-seat-service", "query", vec![("ts-config-service", "query"), ("ts-order-service", "query")]);
-    add_calls("ts-travel2-service", "query", vec![("ts-order-other-service", "query")]);
+    add_calls(
+        "ts-seat-service",
+        "query",
+        vec![
+            ("ts-config-service", "query"),
+            ("ts-order-service", "query"),
+        ],
+    );
+    add_calls(
+        "ts-travel2-service",
+        "query",
+        vec![("ts-order-other-service", "query")],
+    );
 
     // Booking (preserve) flow.
     add_calls(
@@ -498,18 +552,47 @@ pub fn train_ticket() -> Application {
             ("ts-notification-service", "update"),
         ],
     );
-    add_calls("ts-security-service", "query", vec![("ts-order-service", "query"), ("ts-order-other-service", "query")]);
-    add_calls("ts-food-service", "query", vec![("ts-food-map-service", "query"), ("ts-station-food-service", "query")]);
-    add_calls("ts-consign-service", "update", vec![("ts-consign-price-service", "query")]);
-    add_calls("ts-order-service", "update", vec![("ts-station-service", "query")]);
+    add_calls(
+        "ts-security-service",
+        "query",
+        vec![
+            ("ts-order-service", "query"),
+            ("ts-order-other-service", "query"),
+        ],
+    );
+    add_calls(
+        "ts-food-service",
+        "query",
+        vec![
+            ("ts-food-map-service", "query"),
+            ("ts-station-food-service", "query"),
+        ],
+    );
+    add_calls(
+        "ts-consign-service",
+        "update",
+        vec![("ts-consign-price-service", "query")],
+    );
+    add_calls(
+        "ts-order-service",
+        "update",
+        vec![("ts-station-service", "query")],
+    );
 
     // Payment flow.
     add_calls(
         "ts-inside-payment-service",
         "update",
-        vec![("ts-order-service", "query"), ("ts-payment-service", "update")],
+        vec![
+            ("ts-order-service", "query"),
+            ("ts-payment-service", "update"),
+        ],
     );
-    add_calls("ts-execute-service", "update", vec![("ts-order-service", "update")]);
+    add_calls(
+        "ts-execute-service",
+        "update",
+        vec![("ts-order-service", "update")],
+    );
 
     // Cancel / rebook flows.
     add_calls(
@@ -535,32 +618,113 @@ pub fn train_ticket() -> Application {
     );
 
     // Admin & misc flows.
-    add_calls("ts-admin-order-service", "query", vec![("ts-order-service", "query"), ("ts-order-other-service", "query")]);
-    add_calls("ts-admin-travel-service", "query", vec![("ts-travel-service", "query"), ("ts-travel2-service", "query")]);
-    add_calls("ts-admin-route-service", "query", vec![("ts-route-service", "query")]);
-    add_calls("ts-admin-user-service", "query", vec![("ts-user-service", "query")]);
-    add_calls("ts-admin-basic-info-service", "query", vec![("ts-basic-service", "query")]);
-    add_calls("ts-delivery-service", "update", vec![("ts-food-service", "query")]);
-    add_calls("ts-wait-order-service", "update", vec![("ts-order-service", "update"), ("ts-notification-service", "update")]);
+    add_calls(
+        "ts-admin-order-service",
+        "query",
+        vec![
+            ("ts-order-service", "query"),
+            ("ts-order-other-service", "query"),
+        ],
+    );
+    add_calls(
+        "ts-admin-travel-service",
+        "query",
+        vec![
+            ("ts-travel-service", "query"),
+            ("ts-travel2-service", "query"),
+        ],
+    );
+    add_calls(
+        "ts-admin-route-service",
+        "query",
+        vec![("ts-route-service", "query")],
+    );
+    add_calls(
+        "ts-admin-user-service",
+        "query",
+        vec![("ts-user-service", "query")],
+    );
+    add_calls(
+        "ts-admin-basic-info-service",
+        "query",
+        vec![("ts-basic-service", "query")],
+    );
+    add_calls(
+        "ts-delivery-service",
+        "update",
+        vec![("ts-food-service", "query")],
+    );
+    add_calls(
+        "ts-wait-order-service",
+        "update",
+        vec![
+            ("ts-order-service", "update"),
+            ("ts-notification-service", "update"),
+        ],
+    );
     add_calls("ts-news-service", "query", vec![]);
     add_calls("ts-avatar-service", "query", vec![]);
-    add_calls("ts-voucher-service", "query", vec![("ts-order-service", "query")]);
+    add_calls(
+        "ts-voucher-service",
+        "query",
+        vec![("ts-order-service", "query")],
+    );
 
     for service in services {
         builder = builder.service(service);
     }
 
     builder
-        .api("login", CallSpec::new("ts-ui-dashboard", "ui_dashboard.query"), 18.0)
-        .api("query-travel", CallSpec::new("ts-travel-plan-service", "travel_plan.query"), 25.0)
-        .api("query-ticket", CallSpec::new("ts-travel-service", "travel.query"), 20.0)
-        .api("book-ticket", CallSpec::new("ts-preserve-service", "preserve.update"), 12.0)
-        .api("pay", CallSpec::new("ts-inside-payment-service", "inside_payment.update"), 8.0)
-        .api("collect-ticket", CallSpec::new("ts-execute-service", "execute.update"), 5.0)
-        .api("cancel-order", CallSpec::new("ts-cancel-service", "cancel.update"), 4.0)
-        .api("rebook", CallSpec::new("ts-rebook-service", "rebook.update"), 3.0)
-        .api("consign", CallSpec::new("ts-consign-service", "consign.update"), 3.0)
-        .api("admin-orders", CallSpec::new("ts-admin-order-service", "admin_order.query"), 2.0)
+        .api(
+            "login",
+            CallSpec::new("ts-ui-dashboard", "ui_dashboard.query"),
+            18.0,
+        )
+        .api(
+            "query-travel",
+            CallSpec::new("ts-travel-plan-service", "travel_plan.query"),
+            25.0,
+        )
+        .api(
+            "query-ticket",
+            CallSpec::new("ts-travel-service", "travel.query"),
+            20.0,
+        )
+        .api(
+            "book-ticket",
+            CallSpec::new("ts-preserve-service", "preserve.update"),
+            12.0,
+        )
+        .api(
+            "pay",
+            CallSpec::new("ts-inside-payment-service", "inside_payment.update"),
+            8.0,
+        )
+        .api(
+            "collect-ticket",
+            CallSpec::new("ts-execute-service", "execute.update"),
+            5.0,
+        )
+        .api(
+            "cancel-order",
+            CallSpec::new("ts-cancel-service", "cancel.update"),
+            4.0,
+        )
+        .api(
+            "rebook",
+            CallSpec::new("ts-rebook-service", "rebook.update"),
+            3.0,
+        )
+        .api(
+            "consign",
+            CallSpec::new("ts-consign-service", "consign.update"),
+            3.0,
+        )
+        .api(
+            "admin-orders",
+            CallSpec::new("ts-admin-order-service", "admin_order.query"),
+            2.0,
+        )
         .build()
         .expect("train ticket topology is valid")
 }
@@ -594,7 +758,11 @@ mod tests {
             .position(|a| a.name == "checkout")
             .unwrap();
         let trace = g.generate_for_api(checkout_idx);
-        assert!(trace.services().len() >= 7, "services {:?}", trace.services());
+        assert!(
+            trace.services().len() >= 7,
+            "services {:?}",
+            trace.services()
+        );
         assert!(trace.depth() >= 3);
     }
 
@@ -602,7 +770,11 @@ mod tests {
     fn train_ticket_booking_is_deep() {
         let app = train_ticket();
         let mut g = TraceGenerator::new(app.clone(), GeneratorConfig::default());
-        let book_idx = app.apis().iter().position(|a| a.name == "book-ticket").unwrap();
+        let book_idx = app
+            .apis()
+            .iter()
+            .position(|a| a.name == "book-ticket")
+            .unwrap();
         let trace = g.generate_for_api(book_idx);
         assert!(trace.len() >= 10, "span count {}", trace.len());
         assert!(trace.depth() >= 4, "depth {}", trace.depth());

@@ -60,7 +60,7 @@ impl VarSlot {
             VarSlot::HexId { len } => {
                 const HEX: &[u8] = b"0123456789abcdef";
                 (0..*len)
-                    .map(|_| HEX[rng.gen_range(0..16)] as char)
+                    .map(|_| HEX[rng.gen_range(0..16usize)] as char)
                     .collect()
             }
         }
@@ -126,9 +126,7 @@ impl ValueTemplate {
                 }
             }
             ValueTemplate::IntRange { min, max } => AttrValue::Int(rng.gen_range(*min..=*max)),
-            ValueTemplate::FloatRange { min, max } => {
-                AttrValue::Float(rng.gen_range(*min..*max))
-            }
+            ValueTemplate::FloatRange { min, max } => AttrValue::Float(rng.gen_range(*min..*max)),
         }
     }
 }

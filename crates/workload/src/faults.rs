@@ -195,7 +195,9 @@ mod tests {
     use crate::generator::{GeneratorConfig, TraceGenerator};
 
     fn workload() -> TraceSet {
-        let config = GeneratorConfig::default().with_seed(77).with_abnormal_rate(0.0);
+        let config = GeneratorConfig::default()
+            .with_seed(77)
+            .with_abnormal_rate(0.0);
         TraceGenerator::new(online_boutique(), config).generate(200)
     }
 

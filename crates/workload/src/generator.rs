@@ -152,18 +152,13 @@ impl TraceGenerator {
         self.clock_us += 1 + self.rng.gen_range(0..=self.config.mean_interarrival_us * 2);
 
         let mut spans = Vec::new();
-        let root_span_id = self.build_span_tree(
-            trace_id,
-            &api.entry,
-            SpanId::INVALID,
-            start,
-            0,
-            &mut spans,
-        );
+        let root_span_id =
+            self.build_span_tree(trace_id, &api.entry, SpanId::INVALID, start, 0, &mut spans);
 
         // Annotate the root span with request-level metadata.
         if let Some(root) = spans.iter_mut().find(|s| s.span_id() == root_span_id) {
-            root.attributes_mut().insert("api.name", AttrValue::str(api.name.clone()));
+            root.attributes_mut()
+                .insert("api.name", AttrValue::str(api.name.clone()));
             root.attributes_mut()
                 .insert("is_abnormal", AttrValue::Bool(is_abnormal));
         }
@@ -184,7 +179,9 @@ impl TraceGenerator {
     }
 
     fn pick_api(&mut self) -> usize {
-        let mut target = self.rng.gen_range(0.0..self.total_weight.max(f64::MIN_POSITIVE));
+        let mut target = self
+            .rng
+            .gen_range(0.0..self.total_weight.max(f64::MIN_POSITIVE));
         for (i, api) in self.app.apis().iter().enumerate() {
             if target < api.weight {
                 return i;
@@ -227,8 +224,14 @@ impl TraceGenerator {
         let mut children_total = 0u64;
         if depth < MAX_DEPTH {
             for child_call in &op.calls {
-                let child_id =
-                    self.build_span_tree(trace_id, child_call, span_id, child_cursor, depth + 1, out);
+                let child_id = self.build_span_tree(
+                    trace_id,
+                    child_call,
+                    span_id,
+                    child_cursor,
+                    depth + 1,
+                    out,
+                );
                 let child_duration = out
                     .iter()
                     .find(|s| s.span_id() == child_id)
@@ -285,7 +288,10 @@ mod tests {
     use std::collections::HashSet;
 
     fn generator(seed: u64) -> TraceGenerator {
-        TraceGenerator::new(online_boutique(), GeneratorConfig::default().with_seed(seed))
+        TraceGenerator::new(
+            online_boutique(),
+            GeneratorConfig::default().with_seed(seed),
+        )
     }
 
     #[test]
@@ -317,7 +323,9 @@ mod tests {
 
     #[test]
     fn abnormal_rate_is_respected() {
-        let config = GeneratorConfig::default().with_seed(3).with_abnormal_rate(0.2);
+        let config = GeneratorConfig::default()
+            .with_seed(3)
+            .with_abnormal_rate(0.2);
         let mut g = TraceGenerator::new(online_boutique(), config);
         let traces = g.generate(500);
         let abnormal = traces
@@ -335,7 +343,9 @@ mod tests {
 
     #[test]
     fn zero_abnormal_rate_has_no_errors() {
-        let config = GeneratorConfig::default().with_seed(3).with_abnormal_rate(0.0);
+        let config = GeneratorConfig::default()
+            .with_seed(3)
+            .with_abnormal_rate(0.0);
         let mut g = TraceGenerator::new(online_boutique(), config);
         let traces = g.generate(100);
         assert!(traces.iter().all(|t| !t.has_error()));
@@ -381,7 +391,9 @@ mod tests {
 
     #[test]
     fn abnormal_traces_are_slower() {
-        let config = GeneratorConfig::default().with_seed(11).with_abnormal_rate(0.5);
+        let config = GeneratorConfig::default()
+            .with_seed(11)
+            .with_abnormal_rate(0.5);
         let mut g = TraceGenerator::new(online_boutique(), config);
         let traces = g.generate(400);
         let (mut abnormal, mut normal) = (Vec::new(), Vec::new());

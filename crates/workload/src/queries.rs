@@ -121,7 +121,9 @@ mod tests {
     use crate::generator::{GeneratorConfig, TraceGenerator};
 
     fn traces() -> TraceSet {
-        let config = GeneratorConfig::default().with_seed(5).with_abnormal_rate(0.1);
+        let config = GeneratorConfig::default()
+            .with_seed(5)
+            .with_abnormal_rate(0.1);
         TraceGenerator::new(online_boutique(), config).generate(400)
     }
 

@@ -474,12 +474,8 @@ mod tests {
     #[test]
     fn cyclic_graph_rejected() {
         let err = Application::builder("cyclic")
-            .service(
-                ServiceSpec::new("a").operation(OperationSpec::new("op_a").call("b", "op_b")),
-            )
-            .service(
-                ServiceSpec::new("b").operation(OperationSpec::new("op_b").call("a", "op_a")),
-            )
+            .service(ServiceSpec::new("a").operation(OperationSpec::new("op_a").call("b", "op_b")))
+            .service(ServiceSpec::new("b").operation(OperationSpec::new("op_b").call("a", "op_a")))
             .api("loop", CallSpec::new("a", "op_a"), 1.0)
             .build()
             .unwrap_err();

@@ -18,7 +18,9 @@ fn main() {
     const TARGET: &str = "paymentservice";
 
     // Generate traffic and inject the fault.
-    let generator_config = GeneratorConfig::default().with_seed(23).with_abnormal_rate(0.0);
+    let generator_config = GeneratorConfig::default()
+        .with_seed(23)
+        .with_abnormal_rate(0.0);
     let mut generator = TraceGenerator::new(online_boutique(), generator_config);
     let mut traces = generator.generate(800);
     let mut injector = FaultInjector::new(5);

@@ -15,7 +15,9 @@ use mint::core::{MintConfig, SamplingMode};
 use mint::workload::{train_ticket, GeneratorConfig, TraceGenerator};
 
 fn main() {
-    let generator_config = GeneratorConfig::default().with_seed(11).with_abnormal_rate(0.05);
+    let generator_config = GeneratorConfig::default()
+        .with_seed(11)
+        .with_abnormal_rate(0.05);
     let mut generator = TraceGenerator::new(train_ticket(), generator_config);
     let traces = generator.generate(2_000);
     println!(

@@ -11,7 +11,9 @@ use mint::workload::{online_boutique, GeneratorConfig, TraceGenerator};
 fn main() {
     // 1. Generate traffic for the OnlineBoutique application: 10 services,
     //    8 request APIs, 5% of requests tagged abnormal.
-    let generator_config = GeneratorConfig::default().with_seed(7).with_abnormal_rate(0.05);
+    let generator_config = GeneratorConfig::default()
+        .with_seed(7)
+        .with_abnormal_rate(0.05);
     let mut generator = TraceGenerator::new(online_boutique(), generator_config);
     let traces = generator.generate(1_000);
     println!(
@@ -54,7 +56,12 @@ fn main() {
     // 4. Show one approximate trace the way the paper's Fig. 10 does.
     let unsampled = traces
         .iter()
-        .find(|t| matches!(mint.backend().query(t.trace_id()), QueryResult::Approximate(_)))
+        .find(|t| {
+            matches!(
+                mint.backend().query(t.trace_id()),
+                QueryResult::Approximate(_)
+            )
+        })
         .expect("some trace is unsampled");
     if let QueryResult::Approximate(approx) = mint.backend().query(unsampled.trace_id()) {
         println!("\napproximate trace {}:", approx.trace_id);

@@ -18,7 +18,12 @@ fn main() {
 
     let lines: Vec<String> = traces
         .iter()
-        .flat_map(|t| render_trace_text(t).lines().map(str::to_owned).collect::<Vec<_>>())
+        .flat_map(|t| {
+            render_trace_text(t)
+                .lines()
+                .map(str::to_owned)
+                .collect::<Vec<_>>()
+        })
         .collect();
     let raw_text: u64 = lines.iter().map(|l| l.len() as u64 + 1).sum();
     println!(
@@ -29,7 +34,11 @@ fn main() {
         raw_text as f64 / 1e6
     );
 
-    for compressor in [&LogZip::new() as &dyn Compressor, &LogReducer::new(), &Clp::new()] {
+    for compressor in [
+        &LogZip::new() as &dyn Compressor,
+        &LogReducer::new(),
+        &Clp::new(),
+    ] {
         let stats = compressor.compress(&lines);
         println!(
             "{:<12} {:>8.2}x ({} templates)",

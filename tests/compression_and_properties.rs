@@ -15,14 +15,23 @@ fn mint_beats_line_oriented_compressors_on_alibaba_style_traces() {
     let traces = generator.generate(800);
     let lines: Vec<String> = traces
         .iter()
-        .flat_map(|t| render_trace_text(t).lines().map(str::to_owned).collect::<Vec<_>>())
+        .flat_map(|t| {
+            render_trace_text(t)
+                .lines()
+                .map(str::to_owned)
+                .collect::<Vec<_>>()
+        })
         .collect();
     let raw_text: u64 = lines.iter().map(|l| l.len() as u64 + 1).sum();
 
     let mint = mint_compressed_size(&traces, &MintConfig::default(), true, true);
     let mint_ratio = raw_text as f64 / mint.compressed_bytes().max(1) as f64;
 
-    for compressor in [&LogZip::new() as &dyn Compressor, &LogReducer::new(), &Clp::new()] {
+    for compressor in [
+        &LogZip::new() as &dyn Compressor,
+        &LogReducer::new(),
+        &Clp::new(),
+    ] {
         let stats = compressor.compress(&lines);
         assert!(
             mint_ratio > stats.ratio(),
@@ -37,7 +46,9 @@ fn mint_beats_line_oriented_compressors_on_alibaba_style_traces() {
 fn both_parsing_levels_contribute_to_compression() {
     let mut generator = TraceGenerator::new(
         layered_application("integration", 4, 8, 20),
-        GeneratorConfig::default().with_seed(13).with_abnormal_rate(0.0),
+        GeneratorConfig::default()
+            .with_seed(13)
+            .with_abnormal_rate(0.0),
     );
     let traces = generator.generate(600);
     let config = MintConfig::default();

@@ -12,14 +12,18 @@ use mint::workload::{
 };
 
 fn workload(n: usize, seed: u64, abnormal: f64) -> mint::trace_model::TraceSet {
-    let config = GeneratorConfig::default().with_seed(seed).with_abnormal_rate(abnormal);
+    let config = GeneratorConfig::default()
+        .with_seed(seed)
+        .with_abnormal_rate(abnormal);
     TraceGenerator::new(online_boutique(), config).generate(n)
 }
 
 #[test]
 fn mint_answers_every_query_for_both_benchmarks() {
     for (app, n) in [(online_boutique(), 400usize), (train_ticket(), 200usize)] {
-        let config = GeneratorConfig::default().with_seed(3).with_abnormal_rate(0.05);
+        let config = GeneratorConfig::default()
+            .with_seed(3)
+            .with_abnormal_rate(0.05);
         let traces = TraceGenerator::new(app, config).generate(n);
         let mut mint = MintDeployment::new(MintConfig::default());
         mint.process(&traces);
@@ -57,7 +61,10 @@ fn sampled_traces_reconstruct_with_full_metadata() {
             exact_checked += 1;
         }
     }
-    assert!(exact_checked > 5, "expected some exact traces, got {exact_checked}");
+    assert!(
+        exact_checked > 5,
+        "expected some exact traces, got {exact_checked}"
+    );
 }
 
 #[test]
@@ -151,7 +158,9 @@ fn query_answerability_matches_retention_strategy() {
 
 #[test]
 fn rca_pipeline_identifies_injected_fault_with_mint_data() {
-    let config = GeneratorConfig::default().with_seed(41).with_abnormal_rate(0.0);
+    let config = GeneratorConfig::default()
+        .with_seed(41)
+        .with_abnormal_rate(0.0);
     let mut generator = TraceGenerator::new(online_boutique(), config);
     let mut traces = generator.generate(500);
     let mut injector = FaultInjector::new(7);
@@ -162,5 +171,8 @@ fn rca_pipeline_identifies_injected_fault_with_mint_data() {
     let labelled = label_anomalous(&mint.analysis_views());
     assert!(labelled.iter().any(|l| l.anomalous));
     let ranking = MicroRank.rank(&labelled);
-    assert_eq!(ranking.first().map(|(s, _)| s.as_str()), Some("cartservice"));
+    assert_eq!(
+        ranking.first().map(|(s, _)| s.as_str()),
+        Some("cartservice")
+    );
 }

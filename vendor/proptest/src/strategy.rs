@@ -1,0 +1,313 @@
+//! The [`Strategy`] trait and the combinators the workspace's tests use.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of one type.
+///
+/// Mirrors `proptest::strategy::Strategy`, minus shrinking: `generate` draws
+/// one value directly.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { base: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` builds for it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { base: self, f }
+    }
+
+    /// Erases the strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.base.generate(rng)).generate(rng)
+    }
+}
+
+/// Equal-weight union of strategies, built by `prop_oneof!`.
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Creates a union over `options` (must be non-empty).
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(
+            !options.is_empty(),
+            "prop_oneof! needs at least one strategy"
+        );
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let index = rng.gen_range(0..self.options.len());
+        self.options[index].generate(rng)
+    }
+}
+
+macro_rules! impl_numeric_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_numeric_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+// 128-bit ranges are sampled from two 64-bit draws; only full-width use
+// appears in the tests via `any::<u128>()`, but ranges keep parity.
+impl Strategy for Range<u128> {
+    type Value = u128;
+
+    fn generate(&self, rng: &mut TestRng) -> u128 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let span = self.end - self.start;
+        let raw = ((rng.gen_range(0u64..=u64::MAX) as u128) << 64)
+            | rng.gen_range(0u64..=u64::MAX) as u128;
+        self.start + raw % span
+    }
+}
+
+/// String strategies from simple character-class regexes.
+///
+/// Supports the `[class]{m,n}` shapes used in the tests (literal characters,
+/// `a-z` style ranges, a trailing `-` treated literally); any other pattern
+/// is generated verbatim as a literal string.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let bytes = pattern.as_bytes();
+    if bytes.first() != Some(&b'[') {
+        return pattern.to_owned();
+    }
+    let Some(class_end) = pattern.find(']') else {
+        return pattern.to_owned();
+    };
+    let alphabet = expand_class(&pattern[1..class_end]);
+    let rest = &pattern[class_end + 1..];
+    let (min, max) = parse_repetition(rest).unwrap_or((1, 1));
+    if alphabet.is_empty() {
+        return String::new();
+    }
+    let len = rng.gen_range(min..=max);
+    (0..len)
+        .map(|_| alphabet[rng.gen_range(0..alphabet.len())])
+        .collect()
+}
+
+fn expand_class(class: &str) -> Vec<char> {
+    let chars: Vec<char> = class.chars().collect();
+    let mut alphabet = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            for c in chars[i]..=chars[i + 2] {
+                alphabet.push(c);
+            }
+            i += 3;
+        } else {
+            alphabet.push(chars[i]);
+            i += 1;
+        }
+    }
+    alphabet
+}
+
+fn parse_repetition(rest: &str) -> Option<(usize, usize)> {
+    let inner = rest.strip_prefix('{')?.strip_suffix('}')?;
+    match inner.split_once(',') {
+        Some((lo, hi)) => {
+            let min = lo.trim().parse().ok()?;
+            let max = hi.trim().parse().ok()?;
+            Some((min, max))
+        }
+        None => {
+            let n = inner.trim().parse().ok()?;
+            Some((n, n))
+        }
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+}
+
+/// A `Vec` of strategies generates a `Vec` of values, element-wise.
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        self.iter().map(|s| s.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pattern_strings_respect_class_and_length() {
+        let mut rng = TestRng::seed_from_u64(11);
+        for _ in 0..200 {
+            let s = "[a-z]{3,10}".generate(&mut rng);
+            assert!((3..=10).contains(&s.len()), "len {}", s.len());
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let t = "[a-zA-Z0-9 _/=-]{0,40}".generate(&mut rng);
+            assert!(t.len() <= 40);
+            assert!(t
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " _/=-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let mut rng = TestRng::seed_from_u64(3);
+        let s = (1usize..5).prop_flat_map(|n| {
+            let parts: Vec<_> = (0..n).map(|_| 1u64..100).collect();
+            parts.prop_map(|v| v.len())
+        });
+        for _ in 0..50 {
+            let n = s.generate(&mut rng);
+            assert!((1..5).contains(&n));
+        }
+    }
+
+    #[test]
+    fn union_draws_from_every_branch() {
+        let mut rng = TestRng::seed_from_u64(9);
+        let s = crate::prop_oneof![(0u32..1).prop_map(|_| 0u8), (0u32..1).prop_map(|_| 1u8)];
+        let mut seen = [false; 2];
+        for _ in 0..100 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+}

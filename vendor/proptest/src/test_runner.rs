@@ -1,0 +1,58 @@
+//! Test-runner configuration and the deterministic RNG behind generation.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Mirrors `proptest::test_runner::Config` (the subset used here).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of cases to generate per property.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        Config { cases }
+    }
+}
+
+/// The RNG handed to strategies.
+pub type TestRng = SmallRng;
+
+/// Per-test driver owning the deterministic RNG.
+#[derive(Debug)]
+pub struct TestRunner {
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// Creates a runner seeded from the test name, so each property sees a
+    /// reproducible but distinct stream.
+    pub fn for_test(name: &str, _config: &Config) -> Self {
+        // FNV-1a over the test name: stable across runs and platforms.
+        let mut seed: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x100000001b3);
+        }
+        TestRunner {
+            rng: TestRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The generation RNG.
+    pub fn rng(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+}

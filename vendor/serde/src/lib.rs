@@ -1,0 +1,37 @@
+//! Offline stand-in for `serde`.
+//!
+//! The repository pins no network access at build time, and every use of
+//! serde in the workspace is a plain `#[derive(Serialize, Deserialize)]` —
+//! nothing is ever actually serialized.  This stub keeps the source
+//! compatible with the real crate: the trait names exist (with blanket
+//! impls, so bounds are always satisfiable) and the derive macros are
+//! re-exported from the `serde_derive` stub, which expands them to nothing.
+//!
+//! Swapping the real `serde` back in is a one-line change in the root
+//! `Cargo.toml` (`[patch.crates-io]`) once a registry is reachable.
+
+#![forbid(unsafe_code)]
+
+/// Marker trait mirroring `serde::Serialize`.  Blanket-implemented for every
+/// type so derived types satisfy any `T: Serialize` bound.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize`.  Blanket-implemented for
+/// every type so derived types satisfy any `T: Deserialize<'de>` bound.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de> + ?Sized> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Mirrors `serde::de` far enough for `DeserializeOwned` imports.
+pub mod de {
+    pub use crate::DeserializeOwned;
+}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace is built in environments without access to crates.io, and
+//! the codebase only ever *derives* `Serialize`/`Deserialize` — no code path
+//! serializes anything.  These derive macros therefore accept the usual
+//! syntax (including `#[serde(...)]` field attributes) and expand to nothing;
+//! the traits in the sibling `serde` stub carry blanket impls so derived
+//! types still satisfy any `T: Serialize` bound.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and `#[serde(...)]` helper attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and `#[serde(...)]` helper attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
