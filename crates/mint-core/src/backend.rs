@@ -7,7 +7,7 @@ use crate::span_parser::PatternCatalog;
 use crate::trace_parser::TopoPattern;
 use mint_bloom::BloomFilter;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use trace_model::{PatternId, Trace, TraceId, WireSize};
 
 /// One span of an approximate trace: the pattern skeleton with variables
@@ -109,7 +109,18 @@ pub struct MintBackend {
     catalogs: HashMap<String, PatternCatalog>,
     topo_patterns: HashMap<String, Vec<TopoPattern>>,
     blooms: HashMap<(String, PatternId), Vec<BloomFilter>>,
+    /// Still-filling Bloom filters published by an incremental merge, one
+    /// slot per ingest shard.  Each epoch replaces a shard's slot with the
+    /// filter's latest state (bits are only ever added between flushes), so
+    /// re-publication stays O(active patterns) instead of O(epochs).
+    partial_blooms: HashMap<(String, PatternId), BTreeMap<usize, BloomFilter>>,
     params: HashMap<TraceId, Vec<(String, TraceParams)>>,
+    /// Append-only order log of parameter uploads: `(trace id, index into
+    /// the trace's block list)`.  Lets an incremental merge consume only the
+    /// blocks stored since its last watermark, in upload order (the node is
+    /// read back from the block itself).  Overhead is 24 bytes per stored
+    /// block — a small constant factor on the params store it indexes.
+    params_log: Vec<(TraceId, usize)>,
     bloom_bytes: u64,
     params_bytes: u64,
 }
@@ -150,22 +161,55 @@ impl MintBackend {
     /// Stores the uploaded parameters of a sampled trace from `node`.
     pub fn store_params(&mut self, node: impl Into<String>, params: TraceParams) {
         self.params_bytes += params.wire_size() as u64;
-        self.params
-            .entry(params.trace_id)
+        let blocks = self.params.entry(params.trace_id).or_default();
+        self.params_log.push((params.trace_id, blocks.len()));
+        blocks.push((node.into(), params));
+    }
+
+    /// Stores (replaces) the still-partial Bloom filter of ingest shard
+    /// `slot` for `(node, topology pattern)`.  Used by the incremental merge:
+    /// unlike [`MintBackend::store_bloom`] this does not accumulate, so
+    /// republishing a filter every epoch keeps exactly one copy per shard.
+    pub(crate) fn store_partial_bloom(
+        &mut self,
+        node: String,
+        topo_id: PatternId,
+        slot: usize,
+        bloom: BloomFilter,
+    ) {
+        self.partial_blooms
+            .entry((node, topo_id))
             .or_default()
-            .push((node.into(), params));
+            .insert(slot, bloom);
+    }
+
+    /// Overwrites the metadata-mounting storage bill with a partition-
+    /// invariant total recomputed from shard states.
+    pub(crate) fn set_bloom_bytes(&mut self, bytes: u64) {
+        self.bloom_bytes = bytes;
+    }
+
+    /// The append-only parameter-upload order log.
+    pub(crate) fn params_log(&self) -> &[(TraceId, usize)] {
+        &self.params_log
+    }
+
+    /// Looks up one stored `(node, parameter block)` pair by `(trace id,
+    /// block index)`.
+    pub(crate) fn params_block(
+        &self,
+        trace_id: TraceId,
+        index: usize,
+    ) -> Option<&(String, TraceParams)> {
+        self.params
+            .get(&trace_id)
+            .and_then(|blocks| blocks.get(index))
     }
 
     /// The stored Bloom filters, keyed by `(node, topology pattern id)`.
     /// Used by the sharded merge step to re-key shard-local pattern ids.
     pub(crate) fn blooms(&self) -> &HashMap<(String, PatternId), Vec<BloomFilter>> {
         &self.blooms
-    }
-
-    /// The stored parameter blocks, keyed by trace id.  Used by the sharded
-    /// merge step to re-key shard-local span pattern references.
-    pub(crate) fn params_blocks(&self) -> &HashMap<TraceId, Vec<(String, TraceParams)>> {
-        &self.params
     }
 
     /// Number of traces with fully retained parameters.
@@ -226,8 +270,25 @@ impl MintBackend {
 
         let mut approx_spans = Vec::new();
         let mut matched_segments = 0;
-        for ((node, topo_id), blooms) in &self.blooms {
-            if !blooms.iter().any(|b| b.contains(&trace_id.as_u128())) {
+        // Segments live in the sealed-bloom map and, for a deployment merged
+        // incrementally, in the per-shard partial-bloom slots as well.
+        let keys = self.blooms.keys().chain(
+            self.partial_blooms
+                .keys()
+                .filter(|key| !self.blooms.contains_key(*key)),
+        );
+        for key in keys {
+            let (node, topo_id) = key;
+            let sealed_hit = self
+                .blooms
+                .get(key)
+                .is_some_and(|blooms| blooms.iter().any(|b| b.contains(&trace_id.as_u128())));
+            let partial_hit = sealed_hit
+                || self
+                    .partial_blooms
+                    .get(key)
+                    .is_some_and(|slots| slots.values().any(|b| b.contains(&trace_id.as_u128())));
+            if !partial_hit {
                 continue;
             }
             matched_segments += 1;

@@ -66,6 +66,20 @@ impl MintCollector {
         self.network.other_bytes += bytes as u64;
     }
 
+    /// Folds pre-summed parameter-upload traffic into the accounting.  Used
+    /// when rebuilding a merged collector from per-shard collectors, whose
+    /// cumulative totals are partition-invariant.
+    pub(crate) fn record_params_raw(&mut self, bytes: u64, blocks: u64) {
+        self.network.params_bytes += bytes;
+        self.uploaded_param_blocks += blocks;
+    }
+
+    /// Folds a pre-summed Bloom-upload count into the accounting (the bytes
+    /// are charged per mounted trace id, not per filter).
+    pub(crate) fn record_bloom_upload_count(&mut self, uploads: u64) {
+        self.uploaded_blooms += uploads;
+    }
+
     /// Total network cost so far.
     pub fn network(&self) -> NetworkCost {
         self.network

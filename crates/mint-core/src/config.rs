@@ -61,6 +61,16 @@ pub struct MintConfig {
     /// Number of ingest shards a [`ShardedDeployment`](crate::ShardedDeployment)
     /// partitions traces across (1 = serial-equivalent single worker).
     pub shard_count: usize,
+    /// Number of traces a [`StreamingDeployment`](crate::StreamingDeployment)
+    /// accepts between epoch boundaries, i.e. between incremental merges of
+    /// the shard states into the queryable backend.  Smaller epochs mean
+    /// fresher query results; larger epochs amortize the (already
+    /// incremental) merge further.
+    pub epoch_trace_count: usize,
+    /// Capacity of each streaming shard worker's bounded ingest queue, in
+    /// traces.  A full queue blocks the router (backpressure) instead of
+    /// buffering unboundedly.
+    pub shard_queue_depth: usize,
 }
 
 impl Default for MintConfig {
@@ -88,6 +98,8 @@ impl Default for MintConfig {
             sampling_mode: SamplingMode::MintBiased,
             head_sampling_rate: 0.05,
             shard_count: 1,
+            epoch_trace_count: 256,
+            shard_queue_depth: 256,
         }
     }
 }
@@ -123,6 +135,19 @@ impl MintConfig {
         self
     }
 
+    /// Sets the streaming epoch size in traces (clamped to at least 1).
+    pub fn with_epoch_trace_count(mut self, traces: usize) -> Self {
+        self.epoch_trace_count = traces.max(1);
+        self
+    }
+
+    /// Sets the streaming shard queue depth in traces (clamped to at
+    /// least 1).
+    pub fn with_shard_queue_depth(mut self, depth: usize) -> Self {
+        self.shard_queue_depth = depth.max(1);
+        self
+    }
+
     /// The γ base of the exponential bucketing, `γ = (1 + α) / (1 − α)`.
     pub fn numeric_gamma(&self) -> f64 {
         (1.0 + self.numeric_precision) / (1.0 - self.numeric_precision)
@@ -145,6 +170,20 @@ mod tests {
         assert_eq!(config.pattern_report_interval_s, 60);
         assert_eq!(config.symptom_quantile, 0.95);
         assert_eq!(config.sampling_mode, SamplingMode::MintBiased);
+        assert_eq!(config.epoch_trace_count, 256);
+        assert_eq!(config.shard_queue_depth, 256);
+    }
+
+    #[test]
+    fn streaming_builders_clamp_to_one() {
+        let config = MintConfig::default()
+            .with_epoch_trace_count(0)
+            .with_shard_queue_depth(0);
+        assert_eq!(config.epoch_trace_count, 1);
+        assert_eq!(config.shard_queue_depth, 1);
+        let config = config.with_epoch_trace_count(64).with_shard_queue_depth(8);
+        assert_eq!(config.epoch_trace_count, 64);
+        assert_eq!(config.shard_queue_depth, 8);
     }
 
     #[test]

@@ -55,10 +55,12 @@ mod compress;
 mod config;
 mod cost;
 mod lcs;
+mod merge;
 mod params;
 mod samplers;
 mod sharded;
 pub mod span_parser;
+mod streaming;
 mod trace_parser;
 
 pub use agent::{AgentStats, IngestOutcome, MintAgent};
@@ -69,6 +71,7 @@ pub use compress::{mint_compressed_size, CompressionBreakdown};
 pub use config::{MintConfig, SamplingMode};
 pub use cost::{CostReport, NetworkCost, StorageCost};
 pub use lcs::{lcs_length, similarity, tokenize};
+pub use merge::MergeStats;
 pub use params::{ParamValue, ParamsBuffer, SpanParams, TraceParams};
 pub use samplers::{EdgeCaseSampler, HeadSampler, SamplerDecision, SymptomSampler};
 pub use sharded::{shard_of, ShardedDeployment};
@@ -76,4 +79,5 @@ pub use span_parser::{
     AttrPattern, NumericBucketer, PatternCatalog, SpanParser, SpanPattern, SpanPatternLibrary,
     StringTemplate,
 };
+pub use streaming::{EpochStats, StreamingDeployment};
 pub use trace_parser::{TopoPattern, TopoPatternLibrary, TraceParser};

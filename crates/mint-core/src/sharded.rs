@@ -1,6 +1,7 @@
-//! Sharded multi-threaded ingest: partition traces by `TraceId` hash across
-//! worker threads, each owning a full per-shard agent/collector/backend
-//! state, then merge everything into one queryable backend and one report.
+//! Sharded multi-threaded batch ingest: partition traces by `TraceId` hash
+//! across worker threads, each owning a full per-shard
+//! agent/collector/backend state, then merge everything into one queryable
+//! backend and one report.
 //!
 //! # Design
 //!
@@ -14,12 +15,18 @@
 //!    batch (exactly what a serial deployment does) and cloned into every
 //!    shard, so all shards start from identical attribute parsers.
 //! 2. **Merge**: after a batch, shard-local pattern libraries are folded into
-//!    canonical per-node libraries.  Shard-local pattern ids are *first-seen*
-//!    indices and therefore differ between shards even for identical
-//!    patterns, so the merge is content-addressed: string templates, span
-//!    patterns and topology patterns are interned by value and every
-//!    shard-local reference (topology entries/edges, Bloom filter keys,
-//!    uploaded parameter blocks) is rewritten to the canonical id.
+//!    canonical per-node libraries by the [`merge`](crate::merge) machinery
+//!    shared with the streaming driver.  Shard-local pattern ids are
+//!    *first-seen* indices and therefore differ between shards even for
+//!    identical patterns, so the merge is content-addressed: string
+//!    templates, span patterns and topology patterns are interned by value
+//!    and every shard-local reference (topology entries/edges, Bloom filter
+//!    keys, uploaded parameter blocks) is rewritten to the canonical id.
+//!    The merge is **incremental**: persistent intern tables and per-shard
+//!    watermarks make each merge `O(library + state new since the previous
+//!    merge)` instead of `O(total state)`, so repeated batches do not pay
+//!    for their predecessors ([`ShardedDeployment::last_merge_time`] exposes
+//!    the per-phase cost the `exp_sharding_loadtest` binary reports).
 //!
 //! # Equivalence with the serial driver
 //!
@@ -28,34 +35,26 @@
 //! `AbnormalTag`) a `ShardedDeployment` produces the same
 //! [`DeploymentReport`] and the same per-trace query results as
 //! [`MintDeployment`], for any shard count — verified by the
-//! `sharded_equivalence` integration tests for N ∈ {1, 2, 8}.  This
-//! additionally assumes the shared warm-up learns a template set that covers
-//! the workload: if a string attribute's *shape* drifts after warm-up, the
-//! online parser creates or generalizes templates in ingestion order, each
-//! shard evolves them from a different subsequence than the serial driver,
-//! and pattern-library bytes can diverge (everything stays queryable and the
-//! partition-invariant counters stay exact).  [`SamplingMode::MintBiased`]
-//! (crate::SamplingMode) keeps per-shard sampler history (quantile
-//! reservoirs, pattern frequencies), so its decisions approximate the serial
-//! ones instead of reproducing them bit-for-bit; all traces remain queryable
-//! either way.
-//!
-//! The merge currently rebuilds the canonical state from the *cumulative*
-//! shard histories on every batch (O(total state) per merge, keeping the
-//! bookkeeping trivially equal to serial); an incremental merge that only
-//! folds new shard state is the obvious next optimization once long-running
-//! multi-batch deployments matter.
+//! `sharded_equivalence` and `streaming_equivalence` integration tests.
+//! This additionally assumes the shared warm-up learns a template set that
+//! covers the workload: if a string attribute's *shape* drifts after
+//! warm-up, the online parser creates or generalizes templates in ingestion
+//! order, each shard evolves them from a different subsequence than the
+//! serial driver, and pattern-library bytes can diverge (everything stays
+//! queryable, the partition-invariant counters stay exact, and the merge's
+//! drift detector falls back to a from-scratch rebuild).
+//! [`SamplingMode::MintBiased`](crate::SamplingMode) keeps per-shard sampler
+//! history (quantile reservoirs, pattern frequencies), so its decisions
+//! approximate the serial ones instead of reproducing them bit-for-bit; all
+//! traces remain queryable either way.
 
-use crate::backend::MintBackend;
 use crate::collector::{batch_duration_s, DeploymentReport, MintCollector, MintDeployment};
 use crate::config::MintConfig;
-use crate::span_parser::{
-    AttrPattern, NumericBucketer, PatternCatalog, SpanPatternLibrary, StringTemplate,
-};
-use crate::trace_parser::TopoPattern;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use crate::merge::{IncrementalMerger, MergeStats};
+use crate::MintBackend;
 use std::sync::mpsc;
-use trace_model::{PatternId, TraceId, TraceSet};
+use std::time::{Duration, Instant};
+use trace_model::{TraceId, TraceSet};
 
 /// Deterministic trace → shard routing: a finalizer-style hash of the trace
 /// id reduced modulo the shard count, so the same trace always lands on the
@@ -82,15 +81,12 @@ pub fn shard_of(trace_id: TraceId, shards: usize) -> usize {
 pub struct ShardedDeployment {
     config: MintConfig,
     shards: Vec<MintDeployment>,
-    merged_backend: MintBackend,
-    merged_collector: MintCollector,
-    /// Cumulative periodic pattern-upload traffic, mirroring the serial
-    /// collector's per-batch `library_bytes × intervals` charge.
-    pattern_network_bytes: u64,
+    merger: IncrementalMerger,
     duration_s: u64,
-    span_patterns: u64,
-    topo_patterns: u64,
     warmed_up: bool,
+    last_ingest_time: Duration,
+    last_merge_time: Duration,
+    last_merge_stats: MergeStats,
 }
 
 impl ShardedDeployment {
@@ -99,13 +95,12 @@ impl ShardedDeployment {
         ShardedDeployment {
             config,
             shards: Vec::new(),
-            merged_backend: MintBackend::new(),
-            merged_collector: MintCollector::new(),
-            pattern_network_bytes: 0,
+            merger: IncrementalMerger::new(),
             duration_s: 0,
-            span_patterns: 0,
-            topo_patterns: 0,
             warmed_up: false,
+            last_ingest_time: Duration::ZERO,
+            last_merge_time: Duration::ZERO,
+            last_merge_stats: MergeStats::default(),
         }
     }
 
@@ -119,15 +114,15 @@ impl ShardedDeployment {
         self.config.shard_count.max(1)
     }
 
-    /// The merged backend (for queries).  Rebuilt after every
+    /// The merged backend (for queries).  Reconciled after every
     /// [`ShardedDeployment::process`] call.
     pub fn backend(&self) -> &MintBackend {
-        &self.merged_backend
+        self.merger.backend()
     }
 
     /// The merged collector (for network accounting).
     pub fn collector(&self) -> &MintCollector {
-        &self.merged_collector
+        self.merger.collector()
     }
 
     /// Iterates over the per-shard deployments (empty before the first
@@ -136,18 +131,55 @@ impl ShardedDeployment {
         self.shards.iter()
     }
 
+    /// Wall-clock time of the parallel ingest phase of the last
+    /// [`ShardedDeployment::process`] call.
+    pub fn last_ingest_time(&self) -> Duration {
+        self.last_ingest_time
+    }
+
+    /// Wall-clock time of the merge (reconcile) phase of the last
+    /// [`ShardedDeployment::process`] call.
+    pub fn last_merge_time(&self) -> Duration {
+        self.last_merge_time
+    }
+
+    /// What the last merge interned — zeroes everywhere mean the merge was
+    /// fully incremental over already-known state.
+    pub fn last_merge_stats(&self) -> MergeStats {
+        self.last_merge_stats
+    }
+
+    /// How many times template drift forced the merge to rebuild its
+    /// canonical state from scratch (0 when the warm-up covers the
+    /// workload).
+    pub fn merge_full_rebuilds(&self) -> u64 {
+        self.merger.full_rebuilds()
+    }
+
+    /// Warms one deployment on `traces` — the identical sample a serial
+    /// deployment would use — and clones it into every shard.
+    /// [`ShardedDeployment::process`] calls this automatically with its
+    /// first batch.
+    ///
+    /// Warm-up happens at most once per deployment: once warmed, further
+    /// calls are no-ops, so accumulated shard state is never discarded.
+    pub fn warm_up(&mut self, traces: &TraceSet) {
+        if self.warmed_up {
+            return;
+        }
+        let mut prototype = MintDeployment::new(self.config.clone());
+        prototype.warm_up(traces);
+        self.shards = vec![prototype; self.shard_count()];
+        self.warmed_up = true;
+    }
+
     /// Processes a batch of traces across all shards and returns the merged
     /// cumulative report.  May be called repeatedly; counters accumulate
     /// exactly like the serial driver's.
     pub fn process(&mut self, traces: &TraceSet) -> DeploymentReport {
         let shard_count = self.shard_count();
         if !self.warmed_up {
-            // Warm one deployment on the full batch — the identical sample a
-            // serial deployment would use — then clone it into every shard.
-            let mut prototype = MintDeployment::new(self.config.clone());
-            prototype.warm_up(traces);
-            self.shards = vec![prototype; shard_count];
-            self.warmed_up = true;
+            self.warm_up(traces);
         }
 
         let (mut min_start, mut max_end) = (u64::MAX, 0u64);
@@ -162,6 +194,7 @@ impl ShardedDeployment {
         // channels: routing stays O(1) per trace on the dispatch thread
         // instead of deep-cloning every span (which would serialize
         // O(batch bytes) of work ahead of the parallel section).
+        let ingest_start = Instant::now();
         let batch = traces.traces();
         std::thread::scope(|scope| {
             let mut senders = Vec::with_capacity(shard_count);
@@ -184,286 +217,32 @@ impl ShardedDeployment {
                 handle.join().expect("shard worker panicked");
             }
         });
+        self.last_ingest_time = ingest_start.elapsed();
 
         let batch_duration = batch_duration_s(min_start, max_end);
         self.duration_s += batch_duration;
-        self.merge(batch_duration);
+
+        let merge_start = Instant::now();
+        self.last_merge_stats = self.merger.reconcile(&self.shards);
+        self.merger.charge_batch(&self.config, batch_duration);
+        self.last_merge_time = merge_start.elapsed();
         self.report()
     }
 
     /// The merged cumulative report.
     pub fn report(&self) -> DeploymentReport {
         DeploymentReport {
-            network: self.merged_collector.network(),
-            storage: self.merged_backend.storage(),
+            network: self.merger.collector().network(),
+            storage: self.merger.backend().storage(),
             traces: self.shards.iter().map(|s| s.traces_processed).sum(),
             spans: self.shards.iter().map(|s| s.spans_processed).sum(),
             sampled_traces: self.shards.iter().map(|s| s.sampled_traces).sum(),
             raw_trace_bytes: self.shards.iter().map(|s| s.raw_trace_bytes).sum(),
-            span_patterns: self.span_patterns,
-            topo_patterns: self.topo_patterns,
+            span_patterns: self.merger.span_patterns(),
+            topo_patterns: self.merger.topo_patterns(),
             duration_s: self.duration_s,
         }
     }
-
-    /// Rebuilds the merged backend/collector from the cumulative shard
-    /// states, interning shard-local patterns into canonical per-node
-    /// libraries and rewriting every shard-local id.
-    fn merge(&mut self, batch_duration_s: u64) {
-        let mut backend = MintBackend::new();
-        let mut collector = MintCollector::new();
-
-        // Per-trace charges are partition-invariant sums.
-        let mut bloom_network = 0u64;
-        let mut other_network = 0u64;
-        let mut bloom_storage = 0u64;
-        for shard in &self.shards {
-            let network = shard.collector.network();
-            bloom_network += network.bloom_bytes;
-            other_network += network.other_bytes;
-            bloom_storage += shard.backend.storage().bloom_bytes;
-        }
-        collector.record_bloom_bytes(bloom_network);
-        collector.record_other(other_network as usize);
-        backend.charge_bloom_bytes(bloom_storage);
-
-        let nodes: BTreeSet<String> = self
-            .shards
-            .iter()
-            .flat_map(|s| s.agents.keys().cloned())
-            .collect();
-
-        let intervals = (batch_duration_s / self.config.pattern_report_interval_s.max(1)).max(1);
-        let mut batch_pattern_bytes = 0u64;
-        let mut span_patterns = 0u64;
-        let mut topo_patterns = 0u64;
-        // (shard index, node) → shard-local span pattern id → canonical id,
-        // needed afterwards to rewrite uploaded parameter blocks — and the
-        // same for topology ids, used to re-key flushed Bloom filters in one
-        // pass over each shard's bloom map instead of one scan per node.
-        let mut span_remaps: HashMap<(usize, String), HashMap<PatternId, PatternId>> =
-            HashMap::new();
-        let mut topo_remaps: HashMap<(usize, String), HashMap<PatternId, PatternId>> =
-            HashMap::new();
-
-        for node in &nodes {
-            let mut canon = NodeCanon::default();
-            for (shard_index, shard) in self.shards.iter().enumerate() {
-                let Some(agent) = shard.agents.get(node) else {
-                    continue;
-                };
-                let catalog = agent.catalog();
-
-                // Intern string templates by content, per attribute key.
-                // Interning is occurrence-aware: a parser's list may contain
-                // identical-content templates (warm-up clustering can emit
-                // duplicates), and every shard shares the same warmed prefix,
-                // so the k-th occurrence of a content must map to the k-th
-                // canonical occurrence to preserve serial multiplicity.
-                let mut template_remaps: HashMap<String, Vec<usize>> = HashMap::new();
-                for (key, templates) in &catalog.templates {
-                    let canonical = canon.templates.entry(key.clone()).or_default();
-                    let remap = templates
-                        .iter()
-                        .enumerate()
-                        .map(|(index, template)| {
-                            let occurrence =
-                                templates[..index].iter().filter(|t| *t == template).count();
-                            intern_template(canonical, template, occurrence)
-                        })
-                        .collect();
-                    template_remaps.insert(key.clone(), remap);
-                }
-
-                // Intern span patterns (with template references rewritten)
-                // and fold their duration statistics.
-                let mut span_remap: HashMap<PatternId, PatternId> = HashMap::new();
-                for (local_id, pattern) in catalog.spans.iter() {
-                    let mut canonical_pattern = pattern.clone();
-                    for (key, attr) in canonical_pattern.attrs.iter_mut() {
-                        if let AttrPattern::Template { template_id } = attr {
-                            if let Some(remap) = template_remaps.get(key) {
-                                *template_id = remap[*template_id];
-                            }
-                        }
-                    }
-                    let stats = catalog.spans.duration_stats(local_id).unwrap_or_default();
-                    let canonical_id = canon.span_lib.absorb(canonical_pattern, stats);
-                    span_remap.insert(local_id, canonical_id);
-                }
-
-                for (key, bucketer) in &catalog.bucketers {
-                    canon.bucketers.entry(key.clone()).or_insert(*bucketer);
-                }
-                canon.duration_bucketer = catalog.duration_bucketer;
-                for (key, size) in agent.span_parser().scalar_parser_sizes() {
-                    canon.scalar_sizes.entry(key).or_insert(size);
-                }
-
-                // Intern topology patterns with span references rewritten.
-                let mut topo_remap: HashMap<PatternId, PatternId> = HashMap::new();
-                for (local_id, pattern, _) in agent.topo_library().iter() {
-                    let canonical_id = canon.intern_topo(remap_topo(pattern, &span_remap));
-                    topo_remap.insert(local_id, canonical_id);
-                }
-
-                // Re-key this agent's still-partial Bloom filters (the ones
-                // flushed during ingest live in the shard backend and are
-                // re-keyed in a single pass below).
-                for (local_id, bloom) in agent.topo_library().partial_blooms() {
-                    let canonical_id = topo_remap[&local_id];
-                    collector.record_bloom_upload(&bloom);
-                    backend.store_bloom(node.clone(), canonical_id, bloom);
-                }
-
-                span_remaps.insert((shard_index, node.clone()), span_remap);
-                topo_remaps.insert((shard_index, node.clone()), topo_remap);
-            }
-
-            // One periodic library upload per node — patterns live on the
-            // application node, so sharding the collector/backend does not
-            // multiply them.
-            let library_bytes = canon.library_upload_bytes();
-            batch_pattern_bytes += (library_bytes * intervals as usize) as u64;
-            span_patterns += canon.span_lib.len() as u64;
-            topo_patterns += canon.topo.len() as u64;
-
-            backend.store_topo_patterns(node.clone(), canon.topo);
-            backend.store_catalog(
-                node.clone(),
-                PatternCatalog {
-                    spans: canon.span_lib,
-                    templates: canon.templates.into_iter().collect(),
-                    bucketers: canon.bucketers,
-                    duration_bucketer: canon.duration_bucketer,
-                },
-            );
-        }
-
-        self.pattern_network_bytes += batch_pattern_bytes;
-        collector.record_pattern_upload(self.pattern_network_bytes as usize);
-
-        // Re-key the Bloom filters that were flushed during ingest: one pass
-        // over each shard's bloom map, looking the remap up by the filter's
-        // own node key.
-        for (shard_index, shard) in self.shards.iter().enumerate() {
-            for ((node, local_id), blooms) in shard.backend.blooms() {
-                let canonical_id = topo_remaps[&(shard_index, node.clone())][local_id];
-                for bloom in blooms {
-                    collector.record_bloom_upload(bloom);
-                    backend.store_bloom(node.clone(), canonical_id, bloom.clone());
-                }
-            }
-        }
-
-        // Re-store uploaded parameter blocks with canonical span pattern
-        // references.  Each trace was ingested by exactly one shard, so block
-        // order within a trace is preserved.
-        for (shard_index, shard) in self.shards.iter().enumerate() {
-            let mut entries: Vec<(&TraceId, _)> = shard.backend.params_blocks().iter().collect();
-            entries.sort_by_key(|(trace_id, _)| **trace_id);
-            for (_, blocks) in entries {
-                for (node, params) in blocks {
-                    let mut params = params.clone();
-                    if let Some(remap) = span_remaps.get(&(shard_index, node.clone())) {
-                        for span in params.spans.iter_mut() {
-                            if let Some(&canonical) = remap.get(&span.pattern) {
-                                span.pattern = canonical;
-                            }
-                        }
-                    }
-                    collector.record_params_upload(&params);
-                    backend.store_params(node.clone(), params);
-                }
-            }
-        }
-
-        self.span_patterns = span_patterns;
-        self.topo_patterns = topo_patterns;
-        self.merged_backend = backend;
-        self.merged_collector = collector;
-    }
-}
-
-/// Canonical per-node state accumulated while folding shard libraries.
-#[derive(Debug, Default)]
-struct NodeCanon {
-    span_lib: SpanPatternLibrary,
-    templates: BTreeMap<String, Vec<StringTemplate>>,
-    bucketers: HashMap<String, NumericBucketer>,
-    duration_bucketer: NumericBucketer,
-    scalar_sizes: BTreeMap<String, usize>,
-    topo: Vec<TopoPattern>,
-    topo_index: HashMap<TopoPattern, PatternId>,
-}
-
-impl NodeCanon {
-    fn intern_topo(&mut self, pattern: TopoPattern) -> PatternId {
-        if let Some(&id) = self.topo_index.get(&pattern) {
-            return id;
-        }
-        let id = PatternId::from_u128(self.topo.len() as u128 + 1);
-        self.topo_index.insert(pattern.clone(), id);
-        self.topo.push(pattern);
-        id
-    }
-
-    /// Bytes of one full pattern-library upload for this node, mirroring
-    /// [`MintAgent::library_upload_bytes`](crate::MintAgent::library_upload_bytes):
-    /// span patterns + attribute parsers (templates for strings, closed-form
-    /// sizes for numeric/boolean) + topology patterns.
-    fn library_upload_bytes(&self) -> usize {
-        self.span_lib.stored_size()
-            + self
-                .templates
-                .values()
-                .flat_map(|ts| ts.iter().map(StringTemplate::stored_size))
-                .sum::<usize>()
-            + self.scalar_sizes.values().sum::<usize>()
-            + self
-                .topo
-                .iter()
-                .map(TopoPattern::stored_size)
-                .sum::<usize>()
-    }
-}
-
-fn intern_template(
-    canonical: &mut Vec<StringTemplate>,
-    template: &StringTemplate,
-    occurrence: usize,
-) -> usize {
-    let mut seen = 0;
-    for (index, existing) in canonical.iter().enumerate() {
-        if existing == template {
-            if seen == occurrence {
-                return index;
-            }
-            seen += 1;
-        }
-    }
-    canonical.push(template.clone());
-    canonical.len() - 1
-}
-
-fn remap_topo(pattern: &TopoPattern, remap: &HashMap<PatternId, PatternId>) -> TopoPattern {
-    let mut entries: Vec<PatternId> = pattern.entries.iter().map(|id| remap[id]).collect();
-    entries.sort_unstable();
-    let mut edges: BTreeMap<PatternId, Vec<PatternId>> = BTreeMap::new();
-    for (parent, children) in &pattern.edges {
-        edges
-            .entry(remap[parent])
-            .or_default()
-            .extend(children.iter().map(|child| remap[child]));
-    }
-    let edges = edges
-        .into_iter()
-        .map(|(parent, mut children)| {
-            children.sort_unstable();
-            (parent, children)
-        })
-        .collect();
-    TopoPattern { entries, edges }
 }
 
 #[cfg(test)]
@@ -540,5 +319,24 @@ mod tests {
         for trace in traces.iter().take(20) {
             assert!(sharded.backend().query(trace.trace_id()).is_exact());
         }
+    }
+
+    #[test]
+    fn second_batch_merge_is_incremental() {
+        let traces = workload(250);
+        let mut sharded = ShardedDeployment::new(MintConfig::default().with_shard_count(4));
+        sharded.process(&traces);
+        let first = sharded.last_merge_stats();
+        assert!(first.new_span_patterns > 0);
+        // The identical batch again: everything is already interned, so the
+        // merge must not re-intern a single pattern and must not rebuild.
+        sharded.process(&traces);
+        let second = sharded.last_merge_stats();
+        assert_eq!(second.new_span_patterns, 0, "{second:?}");
+        assert_eq!(second.new_topo_patterns, 0, "{second:?}");
+        assert_eq!(second.new_templates, 0, "{second:?}");
+        assert_eq!(sharded.merge_full_rebuilds(), 0);
+        assert!(sharded.last_ingest_time() > Duration::ZERO);
+        assert!(sharded.last_merge_time() > Duration::ZERO);
     }
 }

@@ -175,6 +175,25 @@ impl SpanPatternLibrary {
         self.by_id.is_empty()
     }
 
+    /// Resets every pattern's duration statistics to the empty statistic.
+    /// The incremental merge uses this to refold partition-invariant sums
+    /// from per-shard cumulative statistics each epoch.
+    pub(crate) fn clear_duration_stats(&mut self) {
+        self.durations
+            .iter_mut()
+            .for_each(|d| *d = DurationStats::default());
+    }
+
+    /// Folds `stats` into the statistics recorded for `id` (no-op for an
+    /// unknown id).
+    pub(crate) fn fold_duration_stats(&mut self, id: PatternId, stats: &DurationStats) {
+        if let Some(index) = id.as_u128().checked_sub(1) {
+            if let Some(d) = self.durations.get_mut(index as usize) {
+                d.merge(stats);
+            }
+        }
+    }
+
     /// Iterates over `(id, pattern)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (PatternId, &SpanPattern)> {
         self.by_id

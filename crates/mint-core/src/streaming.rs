@@ -1,0 +1,518 @@
+//! Streaming epoch-based ingest: traces arrive continuously from an
+//! iterator/channel source, are routed by `TraceId` hash to **long-lived
+//! shard workers** behind **bounded queues** (backpressure, no unbounded
+//! buffering), and are reconciled into the queryable backend at **epoch
+//! boundaries** by the incremental merge of [`merge`](crate::merge).
+//!
+//! # Execution model
+//!
+//! ```text
+//!   trace source (Iterator<Item = Trace>, paced or live)
+//!        │ route: shard_of(trace_id, N)
+//!        │ mpsc::sync_channel(shard_queue_depth)  ← bounded: a full queue
+//!        ▼                                          blocks the router
+//!   long-lived shard workers (one thread each, own a full MintDeployment)
+//!        │
+//!        │ every `epoch_trace_count` traces the router sends an EpochEnd
+//!        │ barrier; each worker hands its state to the coordinator and
+//!        │ blocks until it gets it back
+//!        ▼
+//!   IncrementalMerger::reconcile — interns only the patterns first seen
+//!   this epoch (persistent per-node intern tables + per-shard watermarks),
+//!   appends only this epoch's Bloom filters and parameter blocks
+//!        │
+//!        ▼
+//!   merged MintBackend: every trace ingested up to the last epoch boundary
+//!   is queryable while the stream keeps running
+//! ```
+//!
+//! Unlike [`ShardedDeployment`](crate::ShardedDeployment) there is no
+//! pre-materialized [`TraceSet`]: the source is consumed trace by trace and
+//! peak memory is bounded by `shards × queue depth` in-flight traces plus
+//! the (converging) pattern state.
+//!
+//! # Equivalence with the serial driver
+//!
+//! A completed stream is accounted exactly like one serial batch: the
+//! simulated duration spans the stream's first to last span timestamp, and
+//! the periodic pattern-library upload is charged once per node per
+//! reporting interval at the end.  For the deterministic sampling modes
+//! (`All`, `None`, `Head`, `AbnormalTag`) a warmed `StreamingDeployment`
+//! therefore produces the same [`DeploymentReport`] and per-trace query
+//! results as [`MintDeployment::process`] on the same traces — for any
+//! shard count and any epoch size — which `streaming_equivalence` asserts
+//! for shard counts {1, 2, 8} × epoch sizes {1, 7, 64}.  `MintBiased`
+//! keeps per-shard sampler history, so it approximates the serial decisions
+//! instead of reproducing them bit-for-bit (see ARCHITECTURE.md).
+//!
+//! Serial equivalence needs the serial warm-up: call
+//! [`StreamingDeployment::warm_up`] with the reference sample (or use
+//! [`StreamingDeployment::process`], which warms on the full batch exactly
+//! like the serial driver).  An unwarmed [`StreamingDeployment::process_stream`]
+//! warms on its first epoch — the right behaviour for a live source where
+//! the future is unknown, with the documented caveat that post-warm-up
+//! template drift makes pattern-library bytes approximate (the merge's
+//! drift detector keeps the backend correct regardless).
+
+use crate::collector::{batch_duration_s, DeploymentReport, MintCollector, MintDeployment};
+use crate::config::MintConfig;
+use crate::merge::{IncrementalMerger, MergeStats};
+use crate::sharded::shard_of;
+use crate::MintBackend;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+use trace_model::{Trace, TraceSet};
+
+/// What the driver did at one epoch boundary (or at the end-of-stream
+/// reconcile, flagged by [`EpochStats::end_of_stream`]).
+#[derive(Debug, Clone, Copy)]
+pub struct EpochStats {
+    /// Epoch sequence number, starting at 0, monotonically increasing
+    /// across streams.
+    pub epoch: u64,
+    /// Traces routed during this epoch.
+    pub traces: u64,
+    /// Wall-clock time of the incremental merge at this boundary.
+    pub merge_time: Duration,
+    /// What the merge interned — all-zero for an epoch whose patterns were
+    /// all known, which is the steady state the incremental merge exists
+    /// for.
+    pub merge: MergeStats,
+    /// Whether this was the final reconcile of a completed stream.
+    pub end_of_stream: bool,
+}
+
+/// Messages on a shard worker's bounded ingest queue.
+enum ShardMsg {
+    /// One trace to ingest.
+    Trace(Box<Trace>),
+    /// Epoch barrier: hand the deployment to the coordinator and block
+    /// until it comes back.
+    EpochEnd,
+}
+
+/// How many [`EpochStats`] entries are retained (the oldest are dropped
+/// beyond this), so a long-lived deployment's telemetry stays bounded.
+const EPOCH_STATS_RETENTION: usize = 4096;
+
+/// A streaming Mint deployment: N long-lived shard workers behind bounded
+/// queues, reconciled into one queryable backend at epoch boundaries.
+#[derive(Debug)]
+pub struct StreamingDeployment {
+    config: MintConfig,
+    shards: Vec<MintDeployment>,
+    merger: IncrementalMerger,
+    epoch_stats: Vec<EpochStats>,
+    duration_s: u64,
+    epochs: u64,
+    warmed_up: bool,
+}
+
+impl StreamingDeployment {
+    /// Creates a streaming deployment with `config.shard_count` workers,
+    /// epoch size `config.epoch_trace_count` and per-worker queue depth
+    /// `config.shard_queue_depth`.
+    pub fn new(config: MintConfig) -> Self {
+        StreamingDeployment {
+            config,
+            shards: Vec::new(),
+            merger: IncrementalMerger::new(),
+            epoch_stats: Vec::new(),
+            duration_s: 0,
+            epochs: 0,
+            warmed_up: false,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MintConfig {
+        &self.config
+    }
+
+    /// Number of shard workers.
+    pub fn shard_count(&self) -> usize {
+        self.config.shard_count.max(1)
+    }
+
+    /// The merged backend (for queries).  Reflects every trace ingested up
+    /// to the most recent epoch boundary / completed stream.
+    pub fn backend(&self) -> &MintBackend {
+        self.merger.backend()
+    }
+
+    /// The merged collector (for network accounting).
+    pub fn collector(&self) -> &MintCollector {
+        self.merger.collector()
+    }
+
+    /// Iterates over the per-shard deployments (empty before the first
+    /// stream).
+    pub fn shards(&self) -> impl Iterator<Item = &MintDeployment> {
+        self.shards.iter()
+    }
+
+    /// Per-epoch merge telemetry, accumulated across streams.  Only the
+    /// most recent 4096 epochs are retained, so a long-lived deployment's
+    /// telemetry stays bounded ([`EpochStats::epoch`] keeps the absolute
+    /// sequence number).
+    pub fn epoch_stats(&self) -> &[EpochStats] {
+        &self.epoch_stats
+    }
+
+    /// Records one epoch's telemetry, dropping the oldest entries beyond
+    /// the retention window (amortized O(1): half the window is drained at
+    /// once).
+    fn record_epoch(&mut self, stats: EpochStats) {
+        self.epoch_stats.push(stats);
+        self.epochs += 1;
+        if self.epoch_stats.len() >= 2 * EPOCH_STATS_RETENTION {
+            self.epoch_stats
+                .drain(..self.epoch_stats.len() - EPOCH_STATS_RETENTION);
+        }
+    }
+
+    /// How many times template drift forced the merge to rebuild its
+    /// canonical state from scratch (0 when the warm-up covers the
+    /// workload).
+    pub fn merge_full_rebuilds(&self) -> u64 {
+        self.merger.full_rebuilds()
+    }
+
+    /// Warms one deployment on `traces` — the identical sample a serial
+    /// deployment would use — and clones it into every shard.  Call this
+    /// before [`StreamingDeployment::process_stream`] for byte-for-byte
+    /// serial equivalence; an unwarmed stream warms on its first epoch.
+    ///
+    /// Warm-up happens at most once per deployment (mirroring the serial
+    /// driver): once warmed — explicitly or by the first stream — further
+    /// calls are no-ops, so accumulated shard state is never discarded.
+    pub fn warm_up(&mut self, traces: &TraceSet) {
+        if self.warmed_up {
+            return;
+        }
+        let mut prototype = MintDeployment::new(self.config.clone());
+        prototype.warm_up(traces);
+        self.shards = vec![prototype; self.shard_count()];
+        self.warmed_up = true;
+    }
+
+    /// Processes a pre-materialized batch with serial warm-up semantics:
+    /// warms on the full batch (first call only), then streams it through
+    /// the epoch pipeline.  Drop-in equivalent of
+    /// [`MintDeployment::process`] / [`ShardedDeployment::process`](crate::ShardedDeployment::process).
+    pub fn process(&mut self, traces: &TraceSet) -> DeploymentReport {
+        if !self.warmed_up {
+            self.warm_up(traces);
+        }
+        self.process_stream(traces.iter().cloned())
+    }
+
+    /// Consumes a trace stream end to end: routes every trace to its shard
+    /// worker, reconciles at every epoch boundary, and returns the
+    /// cumulative report once the source is exhausted.  May be called
+    /// repeatedly; counters accumulate exactly like the serial driver's
+    /// across batches.
+    pub fn process_stream<I>(&mut self, source: I) -> DeploymentReport
+    where
+        I: IntoIterator<Item = Trace>,
+    {
+        let shard_count = self.shard_count();
+        let epoch_size = self.config.epoch_trace_count.max(1);
+        let queue_depth = self.config.shard_queue_depth.max(1);
+        let mut source = source.into_iter();
+
+        // A live source cannot be warmed on "the full batch"; buffer the
+        // first epoch and use it as the warm-up sample.
+        let mut prefix: Vec<Trace> = Vec::new();
+        if !self.warmed_up {
+            while prefix.len() < epoch_size {
+                match source.next() {
+                    Some(trace) => prefix.push(trace),
+                    None => break,
+                }
+            }
+            let sample: TraceSet = prefix.iter().cloned().collect();
+            self.warm_up(&sample);
+        }
+
+        let (mut min_start, mut max_end) = (u64::MAX, 0u64);
+        let mut epoch_fill = 0u64;
+
+        let mut states: Vec<Option<MintDeployment>> = std::mem::take(&mut self.shards)
+            .into_iter()
+            .map(Some)
+            .collect();
+
+        std::thread::scope(|scope| {
+            let mut work_txs = Vec::with_capacity(shard_count);
+            let mut state_rxs = Vec::with_capacity(shard_count);
+            let mut resume_txs = Vec::with_capacity(shard_count);
+            for state in states.iter_mut() {
+                let (work_tx, work_rx) = mpsc::sync_channel::<ShardMsg>(queue_depth);
+                let (state_tx, state_rx) = mpsc::channel::<MintDeployment>();
+                let (resume_tx, resume_rx) = mpsc::channel::<MintDeployment>();
+                work_txs.push(work_tx);
+                state_rxs.push(state_rx);
+                resume_txs.push(resume_tx);
+                let mut shard = state.take().expect("shard state present at spawn");
+                scope.spawn(move || loop {
+                    match work_rx.recv() {
+                        Ok(ShardMsg::Trace(trace)) => shard.ingest_trace(&trace),
+                        Ok(ShardMsg::EpochEnd) => {
+                            state_tx.send(shard).expect("coordinator hung up");
+                            shard = match resume_rx.recv() {
+                                Ok(shard) => shard,
+                                // Coordinator dropped the resume channel:
+                                // the stream is over and the state was
+                                // already collected.
+                                Err(_) => return,
+                            };
+                        }
+                        // Work channel closed: stream over, hand the state
+                        // back and exit.
+                        Err(_) => {
+                            let _ = state_tx.send(shard);
+                            return;
+                        }
+                    }
+                });
+            }
+
+            for trace in prefix.drain(..).chain(source.by_ref()) {
+                for span in trace.spans() {
+                    min_start = min_start.min(span.start_time_us());
+                    max_end = max_end.max(span.end_time_us());
+                }
+                let shard = shard_of(trace.trace_id(), shard_count);
+                work_txs[shard]
+                    .send(ShardMsg::Trace(Box::new(trace)))
+                    .expect("shard worker hung up");
+                epoch_fill += 1;
+                if epoch_fill == epoch_size as u64 {
+                    // Epoch barrier: collect every worker's state, merge
+                    // incrementally, hand the states back.
+                    for work_tx in &work_txs {
+                        work_tx
+                            .send(ShardMsg::EpochEnd)
+                            .expect("shard worker hung up");
+                    }
+                    let shards: Vec<MintDeployment> = state_rxs
+                        .iter()
+                        .map(|rx| rx.recv().expect("shard worker panicked"))
+                        .collect();
+                    let merge_start = Instant::now();
+                    let merge = self.merger.reconcile(&shards);
+                    self.record_epoch(EpochStats {
+                        epoch: self.epochs,
+                        traces: epoch_fill,
+                        merge_time: merge_start.elapsed(),
+                        merge,
+                        end_of_stream: false,
+                    });
+                    epoch_fill = 0;
+                    for (resume_tx, shard) in resume_txs.iter().zip(shards) {
+                        resume_tx.send(shard).expect("shard worker hung up");
+                    }
+                }
+            }
+
+            // Stream exhausted: close the queues and collect the final
+            // states.
+            drop(work_txs);
+            for (state, state_rx) in states.iter_mut().zip(&state_rxs) {
+                *state = Some(state_rx.recv().expect("shard worker panicked"));
+            }
+        });
+
+        self.shards = states
+            .into_iter()
+            .map(|s| s.expect("every shard state collected"))
+            .collect();
+
+        // End-of-stream reconcile (publishes the tail of the last partial
+        // epoch) plus the serial driver's end-of-batch accounting.
+        let merge_start = Instant::now();
+        let merge = self.merger.reconcile(&self.shards);
+        let stream_duration = batch_duration_s(min_start, max_end);
+        self.duration_s += stream_duration;
+        self.merger.charge_batch(&self.config, stream_duration);
+        self.record_epoch(EpochStats {
+            epoch: self.epochs,
+            traces: epoch_fill,
+            merge_time: merge_start.elapsed(),
+            merge,
+            end_of_stream: true,
+        });
+
+        self.report()
+    }
+
+    /// The merged cumulative report.
+    pub fn report(&self) -> DeploymentReport {
+        DeploymentReport {
+            network: self.merger.collector().network(),
+            storage: self.merger.backend().storage(),
+            traces: self.shards.iter().map(|s| s.traces_processed).sum(),
+            spans: self.shards.iter().map(|s| s.spans_processed).sum(),
+            sampled_traces: self.shards.iter().map(|s| s.sampled_traces).sum(),
+            raw_trace_bytes: self.shards.iter().map(|s| s.raw_trace_bytes).sum(),
+            span_patterns: self.merger.span_patterns(),
+            topo_patterns: self.merger.topo_patterns(),
+            duration_s: self.duration_s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SamplingMode;
+    use workload::{online_boutique, GeneratorConfig, TraceGenerator};
+
+    fn workload(n: usize) -> TraceSet {
+        TraceGenerator::new(
+            online_boutique(),
+            GeneratorConfig::default()
+                .with_seed(123)
+                .with_abnormal_rate(0.05),
+        )
+        .generate(n)
+    }
+
+    #[test]
+    fn streams_everything_and_answers_queries() {
+        let traces = workload(300);
+        let config = MintConfig::default()
+            .with_shard_count(4)
+            .with_epoch_trace_count(32);
+        let mut streaming = StreamingDeployment::new(config);
+        let report = streaming.process(&traces);
+        assert_eq!(report.traces, 300);
+        assert!(report.spans > 1_000);
+        // ⌈300 / 32⌉ = 10 epoch boundaries + the end-of-stream reconcile.
+        assert_eq!(streaming.epoch_stats().len(), 10);
+        assert!(streaming.epoch_stats().last().unwrap().end_of_stream);
+        for trace in &traces {
+            assert!(
+                !streaming.backend().query(trace.trace_id()).is_miss(),
+                "miss for {}",
+                trace.trace_id()
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_queues_and_epochs_still_complete() {
+        // Backpressure smoke test: queue depth 1 and epoch size 1 force the
+        // router to block on every send and merge after every trace.
+        let traces = workload(40);
+        let config = MintConfig::default()
+            .with_shard_count(3)
+            .with_epoch_trace_count(1)
+            .with_shard_queue_depth(1);
+        let mut streaming = StreamingDeployment::new(config);
+        let report = streaming.process(&traces);
+        assert_eq!(report.traces, 40);
+        assert_eq!(streaming.epoch_stats().len(), 41);
+        for trace in &traces {
+            assert!(!streaming.backend().query(trace.trace_id()).is_miss());
+        }
+    }
+
+    #[test]
+    fn unwarmed_stream_warms_on_its_first_epoch() {
+        let traces = workload(120);
+        let config = MintConfig::default()
+            .with_shard_count(2)
+            .with_epoch_trace_count(50);
+        let mut streaming = StreamingDeployment::new(config);
+        let report = streaming.process_stream(traces.iter().cloned());
+        assert_eq!(report.traces, 120);
+        assert_eq!(streaming.shards().count(), 2);
+        for trace in &traces {
+            assert!(!streaming.backend().query(trace.trace_id()).is_miss());
+        }
+    }
+
+    #[test]
+    fn repeated_streams_accumulate() {
+        let traces = workload(90);
+        let mut streaming = StreamingDeployment::new(
+            MintConfig::default()
+                .with_shard_count(2)
+                .with_epoch_trace_count(16),
+        );
+        streaming.process(&traces);
+        let report = streaming.process(&traces);
+        assert_eq!(report.traces, 180);
+        assert!(report.duration_s >= 2);
+    }
+
+    #[test]
+    fn warm_up_after_processing_keeps_accumulated_state() {
+        let traces = workload(60);
+        let mut streaming = StreamingDeployment::new(
+            MintConfig::default()
+                .with_shard_count(2)
+                .with_epoch_trace_count(16),
+        );
+        streaming.process(&traces);
+        // A second warm-up must not discard the ingested shard state.
+        streaming.warm_up(&traces);
+        assert_eq!(streaming.report().traces, 60);
+        for trace in &traces {
+            assert!(!streaming.backend().query(trace.trace_id()).is_miss());
+        }
+    }
+
+    #[test]
+    fn empty_stream_reports_zero_traces() {
+        let mut streaming = StreamingDeployment::new(MintConfig::default().with_shard_count(2));
+        let report = streaming.process_stream(std::iter::empty());
+        assert_eq!(report.traces, 0);
+        assert_eq!(report.spans, 0);
+    }
+
+    #[test]
+    fn sampled_traces_are_exact_in_the_merged_backend() {
+        let traces = workload(150);
+        let config = MintConfig::default()
+            .with_shard_count(3)
+            .with_epoch_trace_count(20)
+            .with_sampling_mode(SamplingMode::All);
+        let mut streaming = StreamingDeployment::new(config);
+        let report = streaming.process(&traces);
+        assert_eq!(report.sampled_traces, 150);
+        for trace in traces.iter().take(20) {
+            assert!(streaming.backend().query(trace.trace_id()).is_exact());
+        }
+    }
+
+    #[test]
+    fn steady_state_epochs_intern_nothing_new() {
+        let traces = workload(400);
+        let config = MintConfig::default()
+            .with_shard_count(4)
+            .with_epoch_trace_count(25);
+        let mut streaming = StreamingDeployment::new(config);
+        streaming.process(&traces);
+        assert_eq!(streaming.merge_full_rebuilds(), 0);
+        // As the pattern library converges, epochs intern almost nothing —
+        // the incremental-merge invariant at work.  The first quarter of the
+        // epochs does the discovery; the last quarter merges a workload's
+        // worth of traces while interning at most a stray rare pattern.
+        let interned = |stats: &EpochStats| {
+            stats.merge.new_templates
+                + stats.merge.new_span_patterns
+                + stats.merge.new_topo_patterns
+        };
+        let epochs = streaming.epoch_stats();
+        let quarter = epochs.len() / 4;
+        let head: usize = epochs[..quarter].iter().map(interned).sum();
+        let tail: usize = epochs[epochs.len() - quarter..].iter().map(interned).sum();
+        assert!(
+            tail * 5 <= head,
+            "merge did not converge: first-quarter interned {head}, last-quarter {tail}"
+        );
+    }
+}

@@ -1,0 +1,265 @@
+//! Differential fuzzing of the three ingest drivers: proptest-generated
+//! trace batches are driven through the serial [`MintDeployment`], the
+//! batch-sharded [`ShardedDeployment`] and the epoch-based
+//! [`StreamingDeployment`], and the suite asserts **identical**
+//! [`DeploymentReport`]s and per-trace query results for every sampling mode
+//! whose per-trace decision is a pure function of the trace (`All`, `None`,
+//! `Head`, `AbnormalTag`), across shard counts {1, 2, 8} and epoch sizes
+//! {1, 7, 64}.
+//!
+//! The serial driver is the oracle: whatever it reports and answers, the
+//! parallel drivers must reproduce byte for byte.  `MintBiased` keeps
+//! per-shard sampler history, so for it the suite asserts the softer
+//! production guarantees (exact workload accounting, full queryability,
+//! bounded sampling rate) — the documented equivalence boundary.
+//!
+//! Workload sizes honour `MINT_SCALE` so CI can run the same suite at
+//! larger scales.
+
+use mint_core::{
+    ApproximateTrace, DeploymentReport, MintConfig, MintDeployment, QueryResult, SamplingMode,
+    ShardedDeployment, StreamingDeployment,
+};
+use proptest::prelude::*;
+use trace_model::TraceSet;
+use workload::{online_boutique, GeneratorConfig, TraceGenerator};
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 8];
+const EPOCH_SIZES: [usize; 3] = [1, 7, 64];
+
+fn scale() -> f64 {
+    std::env::var("MINT_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|v| *v > 0.0)
+        .unwrap_or(1.0)
+}
+
+fn scaled(base: usize) -> usize {
+    ((base as f64 * scale()) as usize).max(30)
+}
+
+fn workload(seed: u64, n: usize, abnormal: f64) -> TraceSet {
+    TraceGenerator::new(
+        online_boutique(),
+        GeneratorConfig::default()
+            .with_seed(seed)
+            .with_abnormal_rate(abnormal),
+    )
+    .generate(n)
+}
+
+/// Flattens an approximate trace into a sortable, id-free representation so
+/// results can be compared across deployments whose internal pattern ids
+/// differ.
+fn approx_key(approx: &ApproximateTrace) -> (usize, Vec<(String, String, String, String)>) {
+    let mut spans: Vec<(String, String, String, String)> = approx
+        .spans
+        .iter()
+        .map(|s| {
+            (
+                s.node.clone(),
+                s.service.clone(),
+                s.name.clone(),
+                s.duration_range.clone(),
+            )
+        })
+        .collect();
+    spans.sort();
+    (approx.matched_segments, spans)
+}
+
+fn assert_queries_match(
+    traces: &TraceSet,
+    serial: &MintDeployment,
+    other: &mint_core::MintBackend,
+    context: &str,
+) {
+    for trace in traces {
+        let id = trace.trace_id();
+        let expected = serial.backend().query(id);
+        let actual = other.query(id);
+        match (&expected, &actual) {
+            (QueryResult::Exact(a), QueryResult::Exact(b)) => {
+                assert_eq!(a, b, "{context}: exact trace mismatch for {id}");
+            }
+            (QueryResult::Approximate(a), QueryResult::Approximate(b)) => {
+                assert_eq!(
+                    approx_key(a),
+                    approx_key(b),
+                    "{context}: approximate trace mismatch for {id}"
+                );
+            }
+            (QueryResult::Miss, QueryResult::Miss) => {}
+            (expected, actual) => panic!(
+                "{context}: query variant mismatch for {id}: serial {expected:?} vs {actual:?}"
+            ),
+        }
+    }
+}
+
+/// Drives one generated batch through all three drivers under `mode` and
+/// asserts serial equality everywhere.
+fn differential_case(seed: u64, n: usize, abnormal: f64, mode: SamplingMode) {
+    let traces = workload(seed, n, abnormal);
+    let base = MintConfig::default().with_sampling_mode(mode);
+
+    let mut serial = MintDeployment::new(base.clone());
+    let serial_report: DeploymentReport = serial.process(&traces);
+
+    for shards in SHARD_COUNTS {
+        let context = format!("mode {mode:?}, seed {seed}, {shards} shard(s), batch-sharded");
+        let mut sharded = ShardedDeployment::new(base.clone().with_shard_count(shards));
+        let sharded_report = sharded.process(&traces);
+        assert_eq!(
+            serial_report, sharded_report,
+            "{context}: cost report diverged from serial"
+        );
+        assert_queries_match(&traces, &serial, sharded.backend(), &context);
+
+        for epoch in EPOCH_SIZES {
+            let context =
+                format!("mode {mode:?}, seed {seed}, {shards} shard(s), epoch {epoch}, streaming");
+            let mut streaming = StreamingDeployment::new(
+                base.clone()
+                    .with_shard_count(shards)
+                    .with_epoch_trace_count(epoch),
+            );
+            let streaming_report = streaming.process(&traces);
+            assert_eq!(
+                serial_report, streaming_report,
+                "{context}: cost report diverged from serial"
+            );
+            assert_queries_match(&traces, &serial, streaming.backend(), &context);
+            assert_eq!(
+                streaming.merge_full_rebuilds(),
+                0,
+                "{context}: warm-up-covered workload should never drift"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn differential_under_all_sampling(
+        seed in 0u64..1_000_000,
+        n in 60usize..140,
+        abnormal in 0.0f64..0.12,
+    ) {
+        differential_case(seed, scaled(n), abnormal, SamplingMode::All);
+    }
+
+    #[test]
+    fn differential_under_no_sampling(
+        seed in 0u64..1_000_000,
+        n in 60usize..140,
+        abnormal in 0.0f64..0.12,
+    ) {
+        differential_case(seed, scaled(n), abnormal, SamplingMode::None);
+    }
+
+    #[test]
+    fn differential_under_head_sampling(
+        seed in 0u64..1_000_000,
+        n in 60usize..140,
+        abnormal in 0.0f64..0.12,
+    ) {
+        differential_case(seed, scaled(n), abnormal, SamplingMode::Head);
+    }
+
+    #[test]
+    fn differential_under_abnormal_tag_sampling(
+        seed in 0u64..1_000_000,
+        n in 60usize..140,
+        abnormal in 0.0f64..0.12,
+    ) {
+        differential_case(seed, scaled(n), abnormal, SamplingMode::AbnormalTag);
+    }
+}
+
+/// Multi-stream accumulation: two consecutive streams must equal two serial
+/// batches, byte for byte, with the second stream's merges fully
+/// incremental.
+#[test]
+fn repeated_streams_match_repeated_serial_batches() {
+    let traces = workload(4242, scaled(120), 0.05);
+    let base = MintConfig::default().with_sampling_mode(SamplingMode::AbnormalTag);
+
+    let mut serial = MintDeployment::new(base.clone());
+    serial.process(&traces);
+    let serial_report = serial.process(&traces);
+
+    for shards in [2usize, 8] {
+        let mut streaming = StreamingDeployment::new(
+            base.clone()
+                .with_shard_count(shards)
+                .with_epoch_trace_count(13),
+        );
+        streaming.process(&traces);
+        let epochs_after_first = streaming.epoch_stats().len();
+        let streaming_report = streaming.process(&traces);
+        assert_eq!(
+            serial_report, streaming_report,
+            "{shards} shard(s): second-stream report diverged"
+        );
+        assert_queries_match(
+            &traces,
+            &serial,
+            streaming.backend(),
+            &format!("{shards} shard(s), repeated streams"),
+        );
+        // The second stream replays known patterns only.
+        let second_stream_interned: usize = streaming.epoch_stats()[epochs_after_first..]
+            .iter()
+            .map(|e| e.merge.new_span_patterns + e.merge.new_topo_patterns + e.merge.new_templates)
+            .sum();
+        assert_eq!(
+            second_stream_interned, 0,
+            "{shards} shard(s): second stream re-interned patterns"
+        );
+    }
+}
+
+/// The documented equivalence boundary: `MintBiased` keeps per-shard sampler
+/// history, so the streaming driver approximates the serial decisions while
+/// keeping workload accounting exact and every trace queryable.
+#[test]
+fn mint_biased_streaming_stays_queryable_and_bounded() {
+    let traces = workload(99, scaled(200), 0.06);
+    let base = MintConfig::default(); // MintBiased
+
+    let mut serial = MintDeployment::new(base.clone());
+    let serial_report = serial.process(&traces);
+
+    for shards in SHARD_COUNTS {
+        let mut streaming = StreamingDeployment::new(
+            base.clone()
+                .with_shard_count(shards)
+                .with_epoch_trace_count(32),
+        );
+        let report = streaming.process(&traces);
+        assert_eq!(report.traces, serial_report.traces);
+        assert_eq!(report.spans, serial_report.spans);
+        assert_eq!(report.raw_trace_bytes, serial_report.raw_trace_bytes);
+        assert_eq!(report.duration_s, serial_report.duration_s);
+        assert!(
+            report.sampled_traces > 0,
+            "{shards} shard(s): nothing sampled"
+        );
+        assert!(
+            report.sampling_rate() < 0.8,
+            "{shards} shard(s): rate {}",
+            report.sampling_rate()
+        );
+        for trace in &traces {
+            assert!(
+                !streaming.backend().query(trace.trace_id()).is_miss(),
+                "{shards} shard(s): miss for {}",
+                trace.trace_id()
+            );
+        }
+    }
+}

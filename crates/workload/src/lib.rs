@@ -41,6 +41,7 @@ mod faults;
 mod generator;
 mod loadtest;
 mod queries;
+mod streaming;
 mod topology;
 
 pub use alibaba::{
@@ -54,6 +55,7 @@ pub use faults::{FaultInjector, FaultRecord, FaultType};
 pub use generator::{GeneratorConfig, TraceGenerator};
 pub use loadtest::{load_test_plan, LoadTestSpec};
 pub use queries::{QueryWorkload, QueryWorkloadConfig};
+pub use streaming::StreamingSource;
 pub use topology::{
     ApiSpec, Application, ApplicationBuilder, CallSpec, LatencyModel, OperationSpec, ServiceSpec,
     TopologyError,
