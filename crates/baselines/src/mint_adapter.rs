@@ -4,7 +4,7 @@
 use crate::framework::{FrameworkReport, QueryOutcome, TracingFramework};
 use mint_core::{MintConfig, MintDeployment, QueryResult};
 use std::collections::HashSet;
-use trace_model::{SpanView, TraceId, TraceSet, TraceView, WireSize};
+use trace_model::{TraceId, TraceSet, TraceView, WireSize};
 
 /// Mint behind the [`TracingFramework`] trait.
 #[derive(Debug, Clone)]
@@ -33,29 +33,7 @@ impl MintFramework {
     }
 
     fn view_for(&self, trace_id: TraceId) -> Option<TraceView> {
-        match self.deployment.backend().query(trace_id) {
-            QueryResult::Exact(trace) => Some(TraceView::from(&trace)),
-            QueryResult::Approximate(approx) => {
-                let spans: Vec<SpanView> = approx
-                    .spans
-                    .iter()
-                    .map(|s| SpanView {
-                        service: s.service.clone(),
-                        operation: s.name.clone(),
-                        duration_us: s.duration_estimate_us(),
-                        is_error: false,
-                    })
-                    .collect();
-                let duration_us = spans.iter().map(|s| s.duration_us).max().unwrap_or(0);
-                Some(TraceView {
-                    trace_id,
-                    exact: false,
-                    duration_us,
-                    spans,
-                })
-            }
-            QueryResult::Miss => None,
-        }
+        self.deployment.backend().trace_view(trace_id)
     }
 }
 

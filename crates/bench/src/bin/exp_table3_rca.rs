@@ -72,7 +72,7 @@ fn main() {
                     .with_abnormal_rate(0.0);
                 let mut generator = TraceGenerator::new(app.clone(), generator_config);
                 let mut traces = generator.generate(requests_per_case);
-                let mut injector = FaultInjector::new(case_seed ^ 0xFA01);
+                let injector = FaultInjector::new(case_seed ^ 0xFA01);
                 injector.inject(&mut traces, *fault, target);
 
                 for mut framework in fresh_frameworks() {

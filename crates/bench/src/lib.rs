@@ -161,7 +161,7 @@ pub fn run_fault_case(
     method: &dyn RcaMethod,
 ) -> RcaCase {
     let mut traces: TraceSet = generator.generate(requests);
-    let mut injector = FaultInjector::new(fault_seed);
+    let injector = FaultInjector::new(fault_seed);
     injector.inject(&mut traces, fault, target);
     framework.process(&traces);
     let views: Vec<TraceView> = framework.analysis_views();

@@ -8,7 +8,7 @@ use crate::trace_parser::TopoPattern;
 use mint_bloom::BloomFilter;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
-use trace_model::{PatternId, Trace, TraceId, WireSize};
+use trace_model::{PatternId, SpanView, Trace, TraceId, TraceView, WireSize};
 
 /// One span of an approximate trace: the pattern skeleton with variables
 /// masked (`<*>`) and numeric values shown as bucket intervals (Fig. 10).
@@ -345,6 +345,37 @@ impl MintBackend {
             })
         } else {
             QueryResult::Miss
+        }
+    }
+
+    /// Flattens a query result into a [`TraceView`] for downstream analysis
+    /// (e.g. the RCA consumers): an exact hit becomes an exact view, an
+    /// approximate hit becomes a pattern-level view with estimated durations
+    /// (error flags are unknown for unsampled traces and reported `false`),
+    /// and a miss returns `None`.
+    pub fn trace_view(&self, trace_id: TraceId) -> Option<TraceView> {
+        match self.query(trace_id) {
+            QueryResult::Exact(trace) => Some(TraceView::from(&trace)),
+            QueryResult::Approximate(approx) => {
+                let spans: Vec<SpanView> = approx
+                    .spans
+                    .iter()
+                    .map(|s| SpanView {
+                        service: s.service.clone(),
+                        operation: s.name.clone(),
+                        duration_us: s.duration_estimate_us(),
+                        is_error: false,
+                    })
+                    .collect();
+                let duration_us = spans.iter().map(|s| s.duration_us).max().unwrap_or(0);
+                Some(TraceView {
+                    trace_id,
+                    exact: false,
+                    duration_us,
+                    spans,
+                })
+            }
+            QueryResult::Miss => None,
         }
     }
 }

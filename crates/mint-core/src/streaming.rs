@@ -216,6 +216,20 @@ impl StreamingDeployment {
     where
         I: IntoIterator<Item = Trace>,
     {
+        self.process_stream_observed(source, |_| {})
+    }
+
+    /// [`process_stream`](StreamingDeployment::process_stream) with an
+    /// epoch observer: `observe` is invoked with each [`EpochStats`] as the
+    /// boundary completes (including the final end-of-stream reconcile),
+    /// while the stream is still running.  This is the hook scenario-aware
+    /// drivers (e.g. the chaos experiments) use to watch ingest progress
+    /// live without polling [`epoch_stats`](StreamingDeployment::epoch_stats).
+    pub fn process_stream_observed<I, F>(&mut self, source: I, mut observe: F) -> DeploymentReport
+    where
+        I: IntoIterator<Item = Trace>,
+        F: FnMut(&EpochStats),
+    {
         let shard_count = self.shard_count();
         let epoch_size = self.config.epoch_trace_count.max(1);
         let queue_depth = self.config.shard_queue_depth.max(1);
@@ -302,13 +316,15 @@ impl StreamingDeployment {
                         .collect();
                     let merge_start = Instant::now();
                     let merge = self.merger.reconcile(&shards);
-                    self.record_epoch(EpochStats {
+                    let stats = EpochStats {
                         epoch: self.epochs,
                         traces: epoch_fill,
                         merge_time: merge_start.elapsed(),
                         merge,
                         end_of_stream: false,
-                    });
+                    };
+                    self.record_epoch(stats);
+                    observe(&stats);
                     epoch_fill = 0;
                     for (resume_tx, shard) in resume_txs.iter().zip(shards) {
                         resume_tx.send(shard).expect("shard worker hung up");
@@ -336,13 +352,15 @@ impl StreamingDeployment {
         let stream_duration = batch_duration_s(min_start, max_end);
         self.duration_s += stream_duration;
         self.merger.charge_batch(&self.config, stream_duration);
-        self.record_epoch(EpochStats {
+        let stats = EpochStats {
             epoch: self.epochs,
             traces: epoch_fill,
             merge_time: merge_start.elapsed(),
             merge,
             end_of_stream: true,
-        });
+        };
+        self.record_epoch(stats);
+        observe(&stats);
 
         self.report()
     }
@@ -463,6 +481,27 @@ mod tests {
         for trace in &traces {
             assert!(!streaming.backend().query(trace.trace_id()).is_miss());
         }
+    }
+
+    #[test]
+    fn observer_sees_every_epoch_as_it_completes() {
+        let traces = workload(100);
+        let config = MintConfig::default()
+            .with_shard_count(2)
+            .with_epoch_trace_count(30);
+        let mut streaming = StreamingDeployment::new(config);
+        streaming.warm_up(&traces);
+        let mut observed = Vec::new();
+        streaming.process_stream_observed(traces.iter().cloned(), |stats| {
+            observed.push((stats.epoch, stats.traces, stats.end_of_stream));
+        });
+        // ⌊100 / 30⌋ = 3 full epochs + the end-of-stream reconcile.
+        assert_eq!(observed.len(), streaming.epoch_stats().len());
+        assert_eq!(observed.len(), 4);
+        assert_eq!(observed.iter().filter(|(_, _, end)| *end).count(), 1);
+        assert!(observed.last().unwrap().2);
+        let total: u64 = observed.iter().map(|(_, traces, _)| traces).sum();
+        assert_eq!(total, 100);
     }
 
     #[test]

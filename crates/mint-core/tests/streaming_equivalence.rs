@@ -263,3 +263,103 @@ fn mint_biased_streaming_stays_queryable_and_bounded() {
         }
     }
 }
+
+/// Chaos-laden streams obey the same serial-equivalence oracle.  The timed
+/// in-flight perturbation is a pure function of `(scenario, trace)` — every
+/// injector draw is keyed on the trace id — so a materialized chaos stream
+/// and a freshly re-streamed one are the same workload, and the three
+/// drivers must agree byte for byte on it under every deterministic
+/// sampling mode, with identical ground truth on both passes.
+#[test]
+fn chaos_stream_differential_across_drivers() {
+    use workload::{ChaosScenario, ChaosSource, FaultType, FaultWindow, StreamingSource};
+
+    let requests = scaled(120);
+    let generator = GeneratorConfig::default()
+        .with_seed(777)
+        .with_abnormal_rate(0.02)
+        .with_mean_interarrival_us(10_000);
+    let start = generator.start_time_us;
+    let span = requests as u64 * 10_000;
+    // Two overlapping windows exercising a latency fault and an error fault
+    // with different impact ratios.
+    let scenario = ChaosScenario::new("differential", 0xD1FF)
+        .window(FaultWindow::new(
+            FaultType::CpuExhaustion,
+            "currencyservice",
+            start + span / 4,
+            span / 3,
+        ))
+        .window(
+            FaultWindow::new(
+                FaultType::ErrorReturn,
+                "cartservice",
+                start + span / 2,
+                span / 4,
+            )
+            .with_impact_ratio(0.5),
+        );
+    let make_source = || {
+        ChaosSource::new(
+            StreamingSource::paced(online_boutique(), generator.clone(), requests),
+            &scenario,
+        )
+    };
+
+    // Materialize once for the serial oracle; record the ground truth.
+    let mut materialized = make_source();
+    let traces: TraceSet = materialized.by_ref().collect();
+    let truth = materialized.into_ground_truth();
+    assert!(
+        truth.iter().all(|t| !t.affected_trace_ids.is_empty()),
+        "every window should affect some traces at this scale"
+    );
+
+    for mode in [
+        SamplingMode::All,
+        SamplingMode::None,
+        SamplingMode::Head,
+        SamplingMode::AbnormalTag,
+    ] {
+        let base = MintConfig::default().with_sampling_mode(mode);
+        let mut serial = MintDeployment::new(base.clone());
+        let serial_report = serial.process(&traces);
+
+        for shards in [1usize, 4] {
+            let context = format!("chaos, mode {mode:?}, {shards} shard(s), batch-sharded");
+            let mut sharded = ShardedDeployment::new(base.clone().with_shard_count(shards));
+            let sharded_report = sharded.process(&traces);
+            assert_eq!(
+                serial_report, sharded_report,
+                "{context}: cost report diverged from serial"
+            );
+            assert_queries_match(&traces, &serial, sharded.backend(), &context);
+
+            for epoch in [7usize, 64] {
+                let context =
+                    format!("chaos, mode {mode:?}, {shards} shard(s), epoch {epoch}, streaming");
+                let mut streaming = StreamingDeployment::new(
+                    base.clone()
+                        .with_shard_count(shards)
+                        .with_epoch_trace_count(epoch),
+                );
+                // Serial warm-up semantics, then stream a *fresh* chaos
+                // source: in-flight injection must reproduce the
+                // materialized batch exactly.
+                streaming.warm_up(&traces);
+                let mut fresh = make_source();
+                let streaming_report = streaming.process_stream(&mut fresh);
+                assert_eq!(
+                    serial_report, streaming_report,
+                    "{context}: cost report diverged from serial"
+                );
+                assert_queries_match(&traces, &serial, streaming.backend(), &context);
+                assert_eq!(
+                    fresh.into_ground_truth(),
+                    truth,
+                    "{context}: ground truth diverged between materialized and re-streamed runs"
+                );
+            }
+        }
+    }
+}

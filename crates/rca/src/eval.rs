@@ -1,7 +1,9 @@
 //! Scoring of RCA results against injected-fault ground truth.
 
-use crate::Ranking;
+use crate::{label_anomalous, Ranking, RcaMethod};
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use trace_model::{TraceId, TraceView};
 
 /// One evaluated fault case: the injected root cause and the ranking an RCA
 /// method produced from a framework's retained traces.
@@ -28,6 +30,65 @@ impl RcaCase {
             .iter()
             .position(|(service, _)| service == &self.ground_truth)
             .map(|p| p + 1)
+    }
+
+    /// The *pessimistic* rank of the ground truth under ties: the truth is
+    /// placed after every entry whose score is greater than or equal to its
+    /// own (competition ranking with the worst tie-break).  `rank_of_truth`
+    /// reflects the deterministic name-order tie-break the methods apply;
+    /// this reflects what an adversarial tie-break would yield, so a method
+    /// whose "top-1 hit" is really a three-way tie does not get credit it
+    /// has not earned.
+    pub fn worst_rank_of_truth(&self) -> Option<usize> {
+        let truth_score = self
+            .ranking
+            .iter()
+            .find(|(service, _)| service == &self.ground_truth)
+            .map(|(_, score)| *score)?;
+        Some(
+            self.ranking
+                .iter()
+                .filter(|(service, score)| *score >= truth_score && service != &self.ground_truth)
+                .count()
+                + 1,
+        )
+    }
+
+    /// Whether the ground truth is within the top `k` even under the
+    /// pessimistic tie-break of [`worst_rank_of_truth`](RcaCase::worst_rank_of_truth).
+    pub fn hit_at_worst(&self, k: usize) -> bool {
+        self.worst_rank_of_truth().is_some_and(|rank| rank <= k)
+    }
+}
+
+/// Fraction of `expected` trace ids present in `captured`.
+///
+/// This is the sampler *capture rate* of the chaos experiments: `expected`
+/// is the ground-truth set of fault-affected traces, `captured` the ids the
+/// sampler retained exactly.  An empty `expected` set means there was
+/// nothing to capture and scores a perfect 1.0; a non-empty `expected` with
+/// nothing captured scores 0.0.
+pub fn capture_rate(expected: &[TraceId], captured: &HashSet<TraceId>) -> f64 {
+    if expected.is_empty() {
+        return 1.0;
+    }
+    let hit = expected.iter().filter(|id| captured.contains(id)).count();
+    hit as f64 / expected.len() as f64
+}
+
+/// Scores one streamed/sampled fault case end to end: labels the trace
+/// views, runs `method` over them, and pairs the resulting ranking with the
+/// ground-truth root cause.  Views with no data (zero captured traces)
+/// produce an empty ranking, which scores as a miss at every `k`.
+pub fn score_streamed_case(
+    views: &[TraceView],
+    ground_truth: &str,
+    method: &dyn RcaMethod,
+) -> RcaCase {
+    let labelled = label_anomalous(views);
+    RcaCase {
+        ground_truth: ground_truth.to_owned(),
+        ranking: method.rank(&labelled),
     }
 }
 
@@ -103,6 +164,88 @@ mod tests {
         assert!((top_k_accuracy(&cases, 1) - 0.5).abs() < 1e-12);
         assert!((top_k_accuracy(&cases, 2) - 0.75).abs() < 1e-12);
         assert_eq!(top_k_accuracy(&[], 1), 0.0);
+    }
+
+    #[test]
+    fn worst_rank_penalizes_ties() {
+        // "db" is tied with "cache" and "front" at the top score: the
+        // name-order tie-break ranks it 2nd, the pessimistic rank is 3rd.
+        let c = RcaCase {
+            ground_truth: "db".into(),
+            ranking: vec![
+                ("cache".into(), 0.9),
+                ("db".into(), 0.9),
+                ("front".into(), 0.9),
+                ("pay".into(), 0.4),
+            ],
+        };
+        assert_eq!(c.rank_of_truth(), Some(2));
+        assert_eq!(c.worst_rank_of_truth(), Some(3));
+        assert!(c.hit_at(2));
+        assert!(!c.hit_at_worst(2));
+        assert!(c.hit_at_worst(3));
+    }
+
+    #[test]
+    fn worst_rank_without_ties_matches_plain_rank() {
+        let c = case("db", &["cache", "db", "front"]);
+        assert_eq!(c.rank_of_truth(), c.worst_rank_of_truth());
+        let missing = case("gone", &["a", "b"]);
+        assert_eq!(missing.worst_rank_of_truth(), None);
+        assert!(!missing.hit_at_worst(10));
+    }
+
+    #[test]
+    fn capture_rate_edge_cases() {
+        use trace_model::TraceId;
+        let ids: Vec<TraceId> = (1..=4u128).map(TraceId::from_u128).collect();
+        let all: HashSet<TraceId> = ids.iter().copied().collect();
+        let none: HashSet<TraceId> = HashSet::new();
+        let half: HashSet<TraceId> = ids.iter().take(2).copied().collect();
+        assert_eq!(capture_rate(&ids, &all), 1.0);
+        assert_eq!(capture_rate(&ids, &none), 0.0);
+        assert!((capture_rate(&ids, &half) - 0.5).abs() < 1e-12);
+        // Nothing expected: vacuously perfect, even with an empty capture set.
+        assert_eq!(capture_rate(&[], &none), 1.0);
+    }
+
+    #[test]
+    fn score_streamed_case_handles_zero_captured_traces() {
+        use crate::MicroRank;
+        let case = score_streamed_case(&[], "db", &MicroRank);
+        assert_eq!(case.ground_truth, "db");
+        assert!(case.ranking.is_empty());
+        assert!(!case.hit_at(1));
+        assert!(!case.hit_at(100));
+        assert_eq!(case.rank_of_truth(), None);
+    }
+
+    #[test]
+    fn score_streamed_case_ranks_a_clear_culprit_first() {
+        use crate::MicroRank;
+        use trace_model::{SpanView, TraceId, TraceView};
+        let make = |id: u128, slow: bool| TraceView {
+            trace_id: TraceId::from_u128(id),
+            exact: true,
+            duration_us: if slow { 80_000 } else { 1_000 },
+            spans: vec![
+                SpanView {
+                    service: "front".into(),
+                    operation: "handle".into(),
+                    duration_us: 400,
+                    is_error: false,
+                },
+                SpanView {
+                    service: "db".into(),
+                    operation: "query".into(),
+                    duration_us: if slow { 79_000 } else { 500 },
+                    is_error: slow,
+                },
+            ],
+        };
+        let views: Vec<TraceView> = (1..=30).map(|i| make(i, i % 10 == 0)).collect();
+        let case = score_streamed_case(&views, "db", &MicroRank);
+        assert!(case.hit_at(1), "ranking was {:?}", case.ranking);
     }
 
     #[test]

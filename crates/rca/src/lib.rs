@@ -49,7 +49,7 @@ mod microrank;
 mod traceanomaly;
 mod tracerca;
 
-pub use eval::{top_k_accuracy, RcaCase, RcaEvaluation};
+pub use eval::{capture_rate, score_streamed_case, top_k_accuracy, RcaCase, RcaEvaluation};
 pub use labelling::{label_anomalous, LabelledTrace};
 pub use microrank::MicroRank;
 pub use traceanomaly::TraceAnomaly;

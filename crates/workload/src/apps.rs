@@ -729,6 +729,41 @@ pub fn train_ticket() -> Application {
         .expect("train ticket topology is valid")
 }
 
+/// The canonical chaos-injection targets for an application: services that
+/// sit mid-call-graph (so faults propagate to callers) and appear on enough
+/// request paths to matter, mirroring the services the paper's Chaosblade
+/// experiments target.  Falls back to every service for unknown topologies.
+pub fn default_fault_targets(app: &Application) -> Vec<String> {
+    let preferred: &[&str] = match app.name() {
+        "online-boutique" => &[
+            "cartservice",
+            "paymentservice",
+            "currencyservice",
+            "shippingservice",
+            "productcatalogservice",
+            "recommendationservice",
+        ],
+        "train-ticket" => &[
+            "ts-order-service",
+            "ts-travel-service",
+            "ts-basic-service",
+            "ts-seat-service",
+            "ts-inside-payment-service",
+        ],
+        _ => &[],
+    };
+    let known: Vec<String> = preferred
+        .iter()
+        .filter(|name| app.find_service(name).is_some())
+        .map(|name| (*name).to_owned())
+        .collect();
+    if known.is_empty() {
+        app.service_names().map(str::to_owned).collect()
+    } else {
+        known
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

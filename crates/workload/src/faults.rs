@@ -7,11 +7,19 @@
 //! type (latency inflation for resource exhaustion and network delays, error
 //! statuses and exception events for code exceptions and error returns).
 //! The injector records the ground-truth root-cause service for scoring.
+//!
+//! Every random draw the injector makes is keyed on the *trace id* (plus the
+//! injector seed and the fault type), never on a shared RNG's call order.
+//! Injection is therefore a pure function of `(seed, trace)` — the same
+//! trace is perturbed identically whether it is visited first or last, in a
+//! batch or in-flight on a stream, on one shard or eight.  The timed
+//! streaming counterpart built on this guarantee lives in
+//! [`chaos`](crate::chaos).
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use trace_model::{AttrValue, SpanStatus, Trace, TraceSet};
+use trace_model::{AttrValue, SpanStatus, Trace, TraceId, TraceSet};
 
 /// The five fault types of Table 2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -58,6 +66,18 @@ impl FaultType {
             FaultType::CpuExhaustion | FaultType::MemoryExhaustion | FaultType::NetworkDelay
         )
     }
+
+    /// A stable per-type salt folded into per-trace RNG seeds so different
+    /// fault types draw independent randomness for the same trace.
+    fn salt(&self) -> u64 {
+        match self {
+            FaultType::CpuExhaustion => 0x43_50_55,
+            FaultType::MemoryExhaustion => 0x4d_45_4d,
+            FaultType::NetworkDelay => 0x4e_45_54,
+            FaultType::CodeException => 0x45_58_43,
+            FaultType::ErrorReturn => 0x45_52_52,
+        }
+    }
 }
 
 /// A record of one injected fault: what was injected and where.
@@ -71,10 +91,22 @@ pub struct FaultRecord {
     pub affected_traces: usize,
 }
 
+/// A splitmix64 finalizer used to derive per-trace RNG seeds.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
 /// Injects faults into generated traces.
+///
+/// The injector is stateless apart from its parameters: every decision is
+/// re-derived from `(seed, trace id, fault type)`, so injection commutes
+/// with any reordering, sharding or interleaving of the traces.
 #[derive(Debug, Clone)]
 pub struct FaultInjector {
-    rng: SmallRng,
+    seed: u64,
     /// Fraction of traces passing through the target service that are
     /// perturbed.
     pub impact_ratio: f64,
@@ -87,10 +119,35 @@ impl FaultInjector {
     /// (80% of traces through the target affected, 10× latency inflation).
     pub fn new(seed: u64) -> Self {
         FaultInjector {
-            rng: SmallRng::seed_from_u64(seed),
+            seed,
             impact_ratio: 0.8,
             latency_factor: 10,
         }
+    }
+
+    /// The injector seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// A deterministic RNG for one `(trace, fault type)` pair.
+    fn trace_rng(&self, trace_id: TraceId, fault_type: FaultType) -> SmallRng {
+        let id = trace_id.as_u128();
+        let folded = (id as u64) ^ ((id >> 64) as u64).rotate_left(32);
+        SmallRng::seed_from_u64(mix64(self.seed ^ folded ^ fault_type.salt()))
+    }
+
+    /// Whether the impact-ratio coin flip selects this trace for
+    /// perturbation.  A pure function of `(seed, trace id, fault type)`.
+    pub fn decides_impact(&self, trace_id: TraceId, fault_type: FaultType) -> bool {
+        if self.impact_ratio >= 1.0 {
+            return true;
+        }
+        if self.impact_ratio <= 0.0 {
+            return false;
+        }
+        self.trace_rng(trace_id, fault_type)
+            .gen_bool(self.impact_ratio)
     }
 
     /// Injects `fault_type` at `target_service` into every trace of `traces`
@@ -98,7 +155,7 @@ impl FaultInjector {
     ///
     /// Returns the fault record with the number of affected traces.
     pub fn inject(
-        &mut self,
+        &self,
         traces: &mut TraceSet,
         fault_type: FaultType,
         target_service: &str,
@@ -108,9 +165,7 @@ impl FaultInjector {
         let rebuilt: Vec<Trace> = std::mem::take(traces)
             .into_iter()
             .map(|mut trace| {
-                let passes_through = trace.services().contains(target_service);
-                if passes_through && self.rng.gen_bool(self.impact_ratio) {
-                    self.perturb(&mut trace, fault_type, target_service);
+                if self.try_perturb(&mut trace, fault_type, target_service) {
                     affected += 1;
                 }
                 trace
@@ -124,7 +179,26 @@ impl FaultInjector {
         }
     }
 
-    fn perturb(&mut self, trace: &mut Trace, fault_type: FaultType, target: &str) {
+    /// Applies the full injection decision to one trace: perturbs it iff it
+    /// passes through `target` and the impact coin flip selects it.  Returns
+    /// whether the trace was perturbed.  This is the entry point the
+    /// streaming [`ChaosSource`](crate::ChaosSource) uses to inject in
+    /// flight.
+    pub fn try_perturb(&self, trace: &mut Trace, fault_type: FaultType, target: &str) -> bool {
+        let passes_through = trace.services().contains(target);
+        if passes_through && self.decides_impact(trace.trace_id(), fault_type) {
+            self.perturb(trace, fault_type, target);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Unconditionally perturbs one trace's target-service spans in the way
+    /// characteristic of `fault_type`.  Deterministic per `(seed, trace id,
+    /// fault type)`.
+    pub fn perturb(&self, trace: &mut Trace, fault_type: FaultType, target: &str) {
+        let mut rng = self.trace_rng(trace.trace_id(), fault_type);
         let factor = self.latency_factor;
         for span in trace.spans_mut() {
             if span.service() != target {
@@ -140,7 +214,7 @@ impl FaultInjector {
                     span.set_duration_us(span.duration_us().saturating_mul(factor / 2 + 1));
                     span.attributes_mut()
                         .insert("resource.memory.utilization", AttrValue::Float(0.97));
-                    if self.rng.gen_bool(0.3) {
+                    if rng.gen_bool(0.3) {
                         span.set_status(SpanStatus::Error);
                         span.attributes_mut().insert(
                             "event.exception",
@@ -283,5 +357,50 @@ mod tests {
         let before = traces.len();
         FaultInjector::new(5).inject(&mut traces, FaultType::MemoryExhaustion, "adservice");
         assert_eq!(traces.len(), before);
+    }
+
+    #[test]
+    fn injection_is_independent_of_trace_order() {
+        // The determinism guarantee the streaming chaos layer builds on: the
+        // same trace gets the same perturbation whether visited first or
+        // last.
+        let traces = workload();
+        let injector = FaultInjector::new(6);
+
+        let mut forward = traces.clone();
+        injector.inject(&mut forward, FaultType::MemoryExhaustion, "cartservice");
+
+        let reversed: Vec<Trace> = traces.iter().rev().cloned().collect();
+        let mut reversed: TraceSet = reversed.into_iter().collect();
+        injector.inject(&mut reversed, FaultType::MemoryExhaustion, "cartservice");
+
+        let by_id: std::collections::HashMap<TraceId, &Trace> =
+            reversed.iter().map(|t| (t.trace_id(), t)).collect();
+        for trace in &forward {
+            assert_eq!(
+                Some(&trace),
+                by_id.get(&trace.trace_id()),
+                "trace {} perturbed differently under reversed order",
+                trace.trace_id()
+            );
+        }
+    }
+
+    #[test]
+    fn impact_decision_is_a_pure_function_of_the_id() {
+        let injector = FaultInjector::new(9);
+        for i in 0..200u128 {
+            let id = TraceId::from_u128(i | 1);
+            assert_eq!(
+                injector.decides_impact(id, FaultType::NetworkDelay),
+                injector.decides_impact(id, FaultType::NetworkDelay)
+            );
+        }
+        let mut all = FaultInjector::new(9);
+        all.impact_ratio = 1.0;
+        let mut none = FaultInjector::new(9);
+        none.impact_ratio = 0.0;
+        assert!(all.decides_impact(TraceId::from_u128(3), FaultType::CpuExhaustion));
+        assert!(!none.decides_impact(TraceId::from_u128(3), FaultType::CpuExhaustion));
     }
 }

@@ -37,6 +37,7 @@
 mod alibaba;
 mod apps;
 mod attrs;
+mod chaos;
 mod faults;
 mod generator;
 mod loadtest;
@@ -49,8 +50,9 @@ pub use alibaba::{
     top_service_overhead_model, DatasetSpec, ServiceOverhead, SubServiceSpec, ALIBABA_DATASETS,
     ALIBABA_SUB_SERVICES,
 };
-pub use apps::{online_boutique, train_ticket};
+pub use apps::{default_fault_targets, online_boutique, train_ticket};
 pub use attrs::{sql_template, url_template, AttrTemplate, ValueTemplate, VarSlot};
+pub use chaos::{ChaosScenario, ChaosSource, FaultWindow, FaultWindowTruth};
 pub use faults::{FaultInjector, FaultRecord, FaultType};
 pub use generator::{GeneratorConfig, TraceGenerator};
 pub use loadtest::{load_test_plan, LoadTestSpec};

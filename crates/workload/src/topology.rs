@@ -261,6 +261,11 @@ impl Application {
         self.services.len()
     }
 
+    /// Iterates over the service names in declaration order.
+    pub fn service_names(&self) -> impl Iterator<Item = &str> {
+        self.services.iter().map(|s| s.name.as_str())
+    }
+
     /// Looks up a service by name.
     pub fn find_service(&self, name: &str) -> Option<&ServiceSpec> {
         self.service_index

@@ -1,0 +1,198 @@
+//! Property tests for the chaos layer's three load-bearing guarantees:
+//!
+//! 1. **Window confinement** — only traces whose timeline position (root
+//!    span start) falls inside a fault window, and which pass through the
+//!    window's target service, are ever perturbed; everything else is
+//!    byte-identical to the un-chaosed stream.
+//! 2. **Honest ground truth** — the set of traces that actually differ from
+//!    the baseline is *exactly* the union of the recorded
+//!    `affected_trace_ids`, and each window's `eligible_traces` matches an
+//!    independent recount from the baseline.
+//! 3. **Blast-radius bounds** — `impact_ratio` 0 perturbs nothing, 1
+//!    perturbs every eligible trace, and anything in between never exceeds
+//!    the eligible count — the streaming analogue of what `faults.rs` unit
+//!    tests prove for batch injection.
+//!
+//! Scenarios are generated over arbitrary window matrices (fault type ×
+//! target × impact ratio × position × length), including empty, overlapping
+//! and out-of-range windows.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use trace_model::{Trace, TraceId};
+use workload::{
+    online_boutique, ChaosScenario, ChaosSource, FaultType, FaultWindow, GeneratorConfig,
+    StreamingSource,
+};
+
+/// Candidate targets: a mix of hot mid-graph services and the entry point.
+const TARGETS: [&str; 4] = [
+    "frontend",
+    "cartservice",
+    "currencyservice",
+    "productcatalogservice",
+];
+
+const INTERARRIVAL_US: u64 = 10_000;
+
+/// One generated window: (fault index, target index, impact selector,
+/// start % of the expected stream span, duration % of the span).
+type WindowSpec = (usize, usize, u8, u64, u64);
+
+fn build_scenario(seed: u64, requests: usize, windows: &[WindowSpec]) -> ChaosScenario {
+    let start0 = GeneratorConfig::default().start_time_us;
+    let span = requests as u64 * INTERARRIVAL_US;
+    let mut scenario = ChaosScenario::new("prop", seed);
+    for &(fault, target, impact, start_pct, dur_pct) in windows {
+        let ratio = [0.0, 0.3, 1.0][impact as usize % 3];
+        scenario = scenario.window(
+            FaultWindow::new(
+                FaultType::ALL[fault % FaultType::ALL.len()],
+                TARGETS[target % TARGETS.len()],
+                start0 + span * start_pct / 100,
+                span * dur_pct / 100,
+            )
+            .with_impact_ratio(ratio),
+        );
+    }
+    scenario
+}
+
+fn stream(gen_seed: u64, requests: usize) -> StreamingSource {
+    let config = GeneratorConfig::default()
+        .with_seed(gen_seed)
+        .with_abnormal_rate(0.0)
+        .with_mean_interarrival_us(INTERARRIVAL_US);
+    StreamingSource::paced(online_boutique(), config, requests)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Properties 1 + 2: the differing traces are exactly the recorded
+    /// affected ids, eligibility recounts match, and every affected id is
+    /// eligible for its window.
+    #[test]
+    fn perturbed_traces_match_ground_truth_exactly(
+        seed in 0u64..100_000,
+        gen_seed in 0u64..100_000,
+        requests in 80usize..160,
+        windows in proptest::collection::vec(
+            (0usize..5, 0usize..4, 0u8..3, 0u64..90, 1u64..45),
+            0..4,
+        ),
+    ) {
+        let scenario = build_scenario(seed, requests, &windows);
+        let baseline: Vec<Trace> = stream(gen_seed, requests).collect();
+        let mut source = ChaosSource::new(stream(gen_seed, requests), &scenario);
+        let chaotic: Vec<Trace> = source.by_ref().collect();
+        prop_assert_eq!(baseline.len(), chaotic.len());
+        let truth = source.ground_truth();
+        prop_assert_eq!(truth.len(), scenario.windows.len());
+
+        let affected: HashSet<TraceId> = truth
+            .iter()
+            .flat_map(|t| t.affected_trace_ids.iter().copied())
+            .collect();
+
+        // A trace differs from the baseline iff some window recorded it.
+        for (before, after) in baseline.iter().zip(chaotic.iter()) {
+            prop_assert_eq!(before.trace_id(), after.trace_id());
+            let differs = before != after;
+            prop_assert_eq!(
+                differs,
+                affected.contains(&before.trace_id()),
+                "trace {} differs={} but ground truth disagrees",
+                before.trace_id(),
+                differs
+            );
+        }
+
+        // Per-window: the eligibility recount from the baseline matches,
+        // and every affected id was eligible.
+        for record in truth {
+            let window = &record.window;
+            let eligible_ids: HashSet<TraceId> = baseline
+                .iter()
+                .filter(|t| {
+                    t.root()
+                        .is_some_and(|root| window.contains(root.start_time_us()))
+                        && t.services().contains(window.target_service.as_str())
+                })
+                .map(|t| t.trace_id())
+                .collect();
+            prop_assert_eq!(
+                eligible_ids.len(),
+                record.eligible_traces,
+                "window {:?}: eligibility recount mismatch",
+                window
+            );
+            for id in &record.affected_trace_ids {
+                prop_assert!(
+                    eligible_ids.contains(id),
+                    "window {:?}: affected id {} was not eligible",
+                    window,
+                    id
+                );
+            }
+        }
+    }
+
+    /// Property 3: `impact_ratio` bounds the blast radius under streaming.
+    #[test]
+    fn impact_ratio_bounds_blast_radius_under_streaming(
+        seed in 0u64..100_000,
+        gen_seed in 0u64..100_000,
+        requests in 80usize..160,
+        windows in proptest::collection::vec(
+            (0usize..5, 0usize..4, 0u8..3, 0u64..90, 1u64..45),
+            1..4,
+        ),
+    ) {
+        let scenario = build_scenario(seed, requests, &windows);
+        let mut source = ChaosSource::new(stream(gen_seed, requests), &scenario);
+        source.by_ref().for_each(drop);
+        for record in source.ground_truth() {
+            let affected = record.affected_trace_ids.len();
+            let eligible = record.eligible_traces;
+            prop_assert!(
+                affected <= eligible,
+                "window {:?}: affected {} > eligible {}",
+                record.window,
+                affected,
+                eligible
+            );
+            if record.window.impact_ratio <= 0.0 {
+                prop_assert_eq!(affected, 0);
+            }
+            if record.window.impact_ratio >= 1.0 {
+                prop_assert_eq!(affected, eligible);
+            }
+        }
+    }
+
+    /// Restreaming reproducibility over arbitrary scenarios: the chaos
+    /// transform is a pure function of (scenario, stream), so a second pass
+    /// yields byte-identical traces and ground truth.
+    #[test]
+    fn arbitrary_scenarios_restream_identically(
+        seed in 0u64..100_000,
+        gen_seed in 0u64..100_000,
+        requests in 80usize..140,
+        windows in proptest::collection::vec(
+            (0usize..5, 0usize..4, 0u8..3, 0u64..90, 1u64..45),
+            0..3,
+        ),
+    ) {
+        let scenario = build_scenario(seed, requests, &windows);
+        let run = || {
+            let mut source = ChaosSource::new(stream(gen_seed, requests), &scenario);
+            let traces: Vec<Trace> = source.by_ref().collect();
+            (traces, source.into_ground_truth())
+        };
+        let (a_traces, a_truth) = run();
+        let (b_traces, b_truth) = run();
+        prop_assert_eq!(a_traces, b_traces);
+        prop_assert_eq!(a_truth, b_truth);
+    }
+}

@@ -23,7 +23,7 @@ fn main() {
         .with_abnormal_rate(0.0);
     let mut generator = TraceGenerator::new(online_boutique(), generator_config);
     let mut traces = generator.generate(800);
-    let mut injector = FaultInjector::new(5);
+    let injector = FaultInjector::new(5);
     let record = injector.inject(&mut traces, FaultType::CpuExhaustion, TARGET);
     println!(
         "injected {} into {} ({} traces affected)\n",

@@ -163,7 +163,7 @@ fn rca_pipeline_identifies_injected_fault_with_mint_data() {
         .with_abnormal_rate(0.0);
     let mut generator = TraceGenerator::new(online_boutique(), config);
     let mut traces = generator.generate(500);
-    let mut injector = FaultInjector::new(7);
+    let injector = FaultInjector::new(7);
     injector.inject(&mut traces, FaultType::CodeException, "cartservice");
 
     let mut mint = MintFramework::new(MintConfig::default());
