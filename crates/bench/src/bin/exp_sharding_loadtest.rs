@@ -21,9 +21,10 @@
 //! MINT_SMOKE=1 cargo run --release --bin exp_sharding_loadtest   # CI smoke
 //! ```
 
+use bench::ingest_json::{self, JsonObj};
 use bench::{fmt_bytes, print_table, ExpConfig};
 use mint::core::{MintConfig, MintDeployment, SamplingMode, ShardedDeployment};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use workload::{layered_application, load_test_plan, GeneratorConfig, TraceGenerator};
 
 fn main() {
@@ -36,6 +37,10 @@ fn main() {
     let base = MintConfig::default().with_sampling_mode(SamplingMode::AbnormalTag);
 
     let mut rows = Vec::new();
+    let mut total_spans = 0usize;
+    let mut total_requests = 0usize;
+    let mut serial_total = Duration::ZERO;
+    let mut sharded_totals: Vec<Duration> = vec![Duration::ZERO; shard_counts.len()];
     for (index, test) in plan.iter().enumerate() {
         let requests = cfg.scaled((test.total_requests() / 10) as usize);
         let generator_config = GeneratorConfig::default()
@@ -50,9 +55,12 @@ fn main() {
         let serial_start = Instant::now();
         let serial_report = serial.process(&traces);
         let serial_elapsed = serial_start.elapsed();
+        total_spans += traces.span_count();
+        total_requests += requests;
+        serial_total += serial_elapsed;
 
         let mut timings = Vec::new();
-        for &shards in shard_counts {
+        for (slot, &shards) in shard_counts.iter().enumerate() {
             let mut sharded = ShardedDeployment::new(base.clone().with_shard_count(shards));
             let start = Instant::now();
             let report = sharded.process(&traces);
@@ -62,6 +70,7 @@ fn main() {
                 "{}: {shards}-shard report diverged from serial",
                 test.name
             );
+            sharded_totals[slot] += elapsed;
             timings.push((
                 shards,
                 elapsed,
@@ -120,6 +129,29 @@ fn main() {
         ],
         &rows,
     );
+    // Persist the aggregate ingest trajectory as the `sharded_loadtest`
+    // section of BENCH_ingest.json.
+    let per_span = |elapsed: Duration| elapsed.as_nanos() as f64 / total_spans.max(1) as f64;
+    let mut shards_obj = JsonObj::new(2);
+    for (slot, &shards) in shard_counts.iter().enumerate() {
+        let mut row = JsonObj::new(3);
+        row.field_f64("ns_per_span", per_span(sharded_totals[slot]))
+            .field_f64(
+                "speedup_vs_serial",
+                serial_total.as_secs_f64() / sharded_totals[slot].as_secs_f64().max(1e-9),
+            );
+        shards_obj.field_raw(&shards.to_string(), &row.finish());
+    }
+    let mut section = JsonObj::new(1);
+    section
+        .field_u64("tests", plan.len() as u64)
+        .field_u64("requests", total_requests as u64)
+        .field_u64("spans", total_spans as u64)
+        .field_f64("serial_ns_per_span", per_span(serial_total))
+        .field_raw("shards", &shards_obj.finish());
+    let path = ingest_json::persist_section(&cfg, smoke, "sharded_loadtest", &section.finish());
+    println!("wrote {path}");
+
     println!(
         "\nShape to check: every sharded run matches the serial cost report exactly \
          (asserted), throughput scales with shard count until the workload per shard \

@@ -26,6 +26,7 @@
 //! MINT_SMOKE=1 cargo run --release --bin exp_streaming_loadtest   # CI smoke
 //! ```
 
+use bench::ingest_json::{self, JsonObj};
 use bench::{fmt_bytes, print_table, ExpConfig};
 use mint::core::{
     EpochStats, MintConfig, MintDeployment, SamplingMode, ShardedDeployment, StreamingDeployment,
@@ -189,7 +190,9 @@ fn main() {
     // Materialize the identical stream once for the batch-sharded comparator.
     let batch: TraceSet = make_source().collect();
 
+    let stream_spans = batch.span_count();
     let mut rows = Vec::new();
+    let mut shards_obj = JsonObj::new(2);
     for shards in if smoke { vec![1, 4] } else { vec![1, 2, 4, 8] } {
         let mut streaming = StreamingDeployment::new(
             base.clone()
@@ -211,6 +214,19 @@ fn main() {
         );
 
         let profile = merge_profile(streaming.epoch_stats());
+        let mut row = JsonObj::new(3);
+        row.field_f64(
+            "streaming_ns_per_span",
+            streaming_elapsed.as_nanos() as f64 / stream_spans.max(1) as f64,
+        )
+        .field_f64(
+            "sharded_ns_per_span",
+            sharded_elapsed.as_nanos() as f64 / stream_spans.max(1) as f64,
+        );
+        if let Some(p) = profile.as_ref() {
+            row.field_f64("merge_p99_ms", p.p99_ms);
+        }
+        shards_obj.field_raw(&shards.to_string(), &row.finish());
         rows.push(vec![
             format!("{shards}"),
             format!(
@@ -243,6 +259,17 @@ fn main() {
         ],
         &rows,
     );
+
+    // Persist the paced-stream trajectory as the `streaming_loadtest`
+    // section of BENCH_ingest.json.
+    let mut section = JsonObj::new(1);
+    section
+        .field_u64("planned_traces", planned as u64)
+        .field_u64("spans", stream_spans as u64)
+        .field_u64("load_tests", plan.len() as u64)
+        .field_raw("shards", &shards_obj.finish());
+    let path = ingest_json::persist_section(&cfg, smoke, "streaming_loadtest", &section.finish());
+    println!("wrote {path}");
 
     println!(
         "\nShape to check: streaming reports match serial byte-for-byte on the warmed \

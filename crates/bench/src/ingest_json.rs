@@ -1,0 +1,386 @@
+//! Hand-rolled persistence for `BENCH_ingest.json` (schema `mint-ingest-v1`).
+//!
+//! The ingest-performance trajectory is written by three binaries — the
+//! per-phase profiler (`exp_ingest_profile`) and the two loadtests
+//! (`exp_sharding_loadtest`, `exp_streaming_loadtest`) — into **one** JSON
+//! document, each owning one top-level section.  Because the vendored serde
+//! is derive-markers only, both the writer and the section-preserving reader
+//! are hand-rolled here: a string-aware balanced-brace scanner splits the
+//! existing document into `(key, raw value)` pairs so a binary can rewrite
+//! its own section without disturbing (or even understanding) the others.
+//!
+//! Document shape:
+//!
+//! ```json
+//! {
+//!   "schema": "mint-ingest-v1",
+//!   "scale": 1,
+//!   "seed": 42405,
+//!   "smoke": false,
+//!   "profile": { ... },
+//!   "sharded_loadtest": { ... },
+//!   "streaming_loadtest": { ... }
+//! }
+//! ```
+//!
+//! The output path defaults to `BENCH_ingest.json` in the working directory
+//! and can be overridden with `MINT_INGEST_OUT`.
+
+use crate::ExpConfig;
+
+/// Schema identifier stamped into the document header.
+pub const SCHEMA: &str = "mint-ingest-v1";
+
+/// Well-known sections, in the order they are rendered; unknown sections are
+/// preserved after these in their original order.
+const SECTION_ORDER: [&str; 3] = ["profile", "sharded_loadtest", "streaming_loadtest"];
+
+/// Header fields rewritten by whichever binary persisted last.
+const HEADER_KEYS: [&str; 4] = ["schema", "scale", "seed", "smoke"];
+
+/// Resolves the output path (`MINT_INGEST_OUT`, default `BENCH_ingest.json`).
+pub fn out_path() -> String {
+    std::env::var("MINT_INGEST_OUT").unwrap_or_else(|_| "BENCH_ingest.json".to_owned())
+}
+
+/// Escapes a string for embedding in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Incrementally builds one pretty-printed JSON object at a fixed indent
+/// depth (two spaces per level).  Values are either escaped scalars or
+/// pre-rendered raw JSON (for nesting).
+pub struct JsonObj {
+    indent: String,
+    fields: Vec<String>,
+}
+
+impl JsonObj {
+    /// Creates a builder whose *members* are indented `level + 1` deep.
+    pub fn new(level: usize) -> Self {
+        JsonObj {
+            indent: "  ".repeat(level),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Adds a string field.
+    pub fn field_str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.field_raw(key, &format!("\"{}\"", json_escape(value)))
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn field_u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.field_raw(key, &value.to_string())
+    }
+
+    /// Adds a float field rendered with one decimal place.
+    pub fn field_f64(&mut self, key: &str, value: f64) -> &mut Self {
+        self.field_raw(key, &format!("{value:.1}"))
+    }
+
+    /// Adds a boolean field.
+    pub fn field_bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.field_raw(key, if value { "true" } else { "false" })
+    }
+
+    /// Adds a field whose value is pre-rendered JSON (object, array, …).
+    pub fn field_raw(&mut self, key: &str, raw: &str) -> &mut Self {
+        self.fields
+            .push(format!("\"{}\": {}", json_escape(key), raw));
+        self
+    }
+
+    /// Renders the object.
+    pub fn finish(&self) -> String {
+        if self.fields.is_empty() {
+            return "{}".to_owned();
+        }
+        let member_indent = format!("{}  ", self.indent);
+        let mut out = String::from("{\n");
+        for (i, field) in self.fields.iter().enumerate() {
+            out.push_str(&member_indent);
+            out.push_str(field);
+            if i + 1 < self.fields.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str(&self.indent);
+        out.push('}');
+        out
+    }
+}
+
+/// Renders a JSON array of pre-rendered values at the given indent level.
+pub fn json_array(level: usize, values: &[String]) -> String {
+    if values.is_empty() {
+        return "[]".to_owned();
+    }
+    let indent = "  ".repeat(level);
+    let member_indent = format!("{indent}  ");
+    let mut out = String::from("[\n");
+    for (i, value) in values.iter().enumerate() {
+        out.push_str(&member_indent);
+        out.push_str(value);
+        if i + 1 < values.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str(&indent);
+    out.push(']');
+    out
+}
+
+fn skip_ws(bytes: &[u8], i: &mut usize) {
+    while *i < bytes.len() && bytes[*i].is_ascii_whitespace() {
+        *i += 1;
+    }
+}
+
+/// Finds the end of a JSON string starting at the opening quote `start`;
+/// returns the raw (still-escaped) inner slice and the index just past the
+/// closing quote.  Byte-wise scanning is UTF-8-safe: multibyte sequences
+/// never contain `"` or `\` bytes.
+fn scan_string(doc: &str, start: usize) -> Option<(&str, usize)> {
+    let bytes = doc.as_bytes();
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return Some((&doc[start + 1..i], i + 1)),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+/// Splits the top level of a JSON object into `(key, raw value)` pairs.
+/// Values are returned as unparsed slices of the document (trimmed), so a
+/// section written by another binary survives a rewrite byte-for-byte.
+/// Returns `None` on anything that does not look like a JSON object — the
+/// caller then starts a fresh document instead of guessing.
+fn split_top_level(doc: &str) -> Option<Vec<(String, String)>> {
+    let bytes = doc.as_bytes();
+    let mut i = 0usize;
+    skip_ws(bytes, &mut i);
+    if i >= bytes.len() || bytes[i] != b'{' {
+        return None;
+    }
+    i += 1;
+    let mut pairs = Vec::new();
+    loop {
+        skip_ws(bytes, &mut i);
+        if i >= bytes.len() {
+            return None;
+        }
+        if bytes[i] == b'}' {
+            return Some(pairs);
+        }
+        if bytes[i] != b'"' {
+            return None;
+        }
+        let (key, after_key) = scan_string(doc, i)?;
+        i = after_key;
+        skip_ws(bytes, &mut i);
+        if i >= bytes.len() || bytes[i] != b':' {
+            return None;
+        }
+        i += 1;
+        skip_ws(bytes, &mut i);
+        let start = i;
+        let mut depth = 0usize;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'"' => {
+                    let (_, after) = scan_string(doc, i)?;
+                    i = after;
+                }
+                b'{' | b'[' => {
+                    depth += 1;
+                    i += 1;
+                }
+                b'}' | b']' if depth > 0 => {
+                    depth -= 1;
+                    i += 1;
+                }
+                b'}' | b']' => break,
+                b',' if depth == 0 => break,
+                _ => i += 1,
+            }
+        }
+        if depth != 0 || start == i {
+            return None;
+        }
+        pairs.push((key.to_owned(), doc[start..i].trim_end().to_owned()));
+        skip_ws(bytes, &mut i);
+        if i < bytes.len() && bytes[i] == b',' {
+            i += 1;
+        }
+    }
+}
+
+/// Merges `body` in as the `section` top-level key of `existing` (or of a
+/// fresh document), rewriting the header fields and preserving every other
+/// section untouched.
+pub fn merge_section(
+    existing: Option<&str>,
+    cfg: &ExpConfig,
+    smoke: bool,
+    section: &str,
+    body: &str,
+) -> String {
+    let mut sections: Vec<(String, String)> = existing
+        .and_then(split_top_level)
+        .unwrap_or_default()
+        .into_iter()
+        .filter(|(key, _)| !HEADER_KEYS.contains(&key.as_str()))
+        .collect();
+    match sections.iter_mut().find(|(key, _)| key == section) {
+        Some(slot) => slot.1 = body.to_owned(),
+        None => sections.push((section.to_owned(), body.to_owned())),
+    }
+    // Stable sort: well-known sections in canonical order, the rest keep
+    // their original relative order after them.
+    sections.sort_by_key(|(key, _)| {
+        SECTION_ORDER
+            .iter()
+            .position(|known| known == key)
+            .unwrap_or(SECTION_ORDER.len())
+    });
+
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    out.push_str(&format!("  \"scale\": {},\n", cfg.scale));
+    out.push_str(&format!("  \"seed\": {},\n", cfg.seed));
+    out.push_str(&format!("  \"smoke\": {smoke}"));
+    for (key, value) in &sections {
+        out.push_str(",\n");
+        out.push_str(&format!("  \"{}\": {}", json_escape(key), value));
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// Reads the current document (if any), merges `body` in as `section`, and
+/// writes the result back.  Returns the path written.
+pub fn persist_section(cfg: &ExpConfig, smoke: bool, section: &str, body: &str) -> String {
+    let path = out_path();
+    let existing = std::fs::read_to_string(&path).ok();
+    let doc = merge_section(existing.as_deref(), cfg, smoke, section, body);
+    std::fs::write(&path, &doc).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ExpConfig {
+        ExpConfig {
+            scale: 1.0,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn escape_covers_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_escape("héllo"), "héllo");
+    }
+
+    #[test]
+    fn fresh_document_has_header_and_section() {
+        let doc = merge_section(None, &cfg(), false, "profile", "{\"x\": 1}");
+        assert!(doc.contains("\"schema\": \"mint-ingest-v1\""));
+        assert!(doc.contains("\"scale\": 1"));
+        assert!(doc.contains("\"seed\": 7"));
+        assert!(doc.contains("\"smoke\": false"));
+        assert!(doc.contains("\"profile\": {\"x\": 1}"));
+    }
+
+    #[test]
+    fn rewriting_one_section_preserves_the_others() {
+        let first = merge_section(None, &cfg(), false, "streaming_loadtest", "{\"a\": [1, 2]}");
+        let second = merge_section(Some(&first), &cfg(), true, "profile", "{\"b\": 3}");
+        assert!(second.contains("\"a\": [1, 2]"));
+        assert!(second.contains("\"b\": 3"));
+        assert!(second.contains("\"smoke\": true"));
+        // Canonical ordering: profile before streaming_loadtest even though
+        // it was written second.
+        let profile_at = second.find("\"profile\"").unwrap();
+        let streaming_at = second.find("\"streaming_loadtest\"").unwrap();
+        assert!(profile_at < streaming_at);
+        // Replacing a section swaps only that section.
+        let third = merge_section(Some(&second), &cfg(), false, "profile", "{\"b\": 9}");
+        assert!(third.contains("\"b\": 9"));
+        assert!(!third.contains("\"b\": 3"));
+        assert!(third.contains("\"a\": [1, 2]"));
+    }
+
+    #[test]
+    fn scanner_handles_strings_with_structure_characters() {
+        let doc =
+            "{\"schema\": \"x\", \"s\": {\"msg\": \"a } , [ \\\" b\", \"n\": [1, {\"k\": 2}]}}";
+        let pairs = split_top_level(doc).unwrap();
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[1].0, "s");
+        assert!(pairs[1].1.contains("a } , [ \\\" b"));
+        assert!(pairs[1].1.ends_with('}'));
+    }
+
+    #[test]
+    fn corrupt_existing_document_starts_fresh() {
+        for corrupt in ["not json", "[1, 2]", "{\"unterminated\": ", "{\"k\" 1}"] {
+            let doc = merge_section(Some(corrupt), &cfg(), false, "profile", "{}");
+            assert!(doc.contains("\"profile\": {}"), "from {corrupt:?}");
+            assert!(split_top_level(&doc).is_some());
+        }
+    }
+
+    #[test]
+    fn builder_renders_nested_objects() {
+        let mut inner = JsonObj::new(2);
+        inner.field_f64("before_ns_per_span", 120.25);
+        inner.field_f64("after_ns_per_span", 80.0);
+        let mut outer = JsonObj::new(1);
+        outer
+            .field_str("name", "tokenize")
+            .field_u64("spans", 42)
+            .field_bool("ok", true)
+            .field_raw("numbers", &inner.finish());
+        let rendered = outer.finish();
+        assert!(rendered.contains("\"name\": \"tokenize\""));
+        assert!(rendered.contains("\"before_ns_per_span\": 120.2"));
+        // Round-trips through the scanner.
+        let doc = merge_section(None, &cfg(), false, "profile", &rendered);
+        let pairs = split_top_level(&doc).unwrap();
+        assert!(pairs
+            .iter()
+            .any(|(k, v)| k == "profile" && v.contains("tokenize")));
+    }
+
+    #[test]
+    fn json_array_renders_and_roundtrips() {
+        assert_eq!(json_array(1, &[]), "[]");
+        let arr = json_array(1, &["1".into(), "{\"a\": 2}".into()]);
+        let doc = merge_section(None, &cfg(), false, "profile", &arr);
+        let pairs = split_top_level(&doc).unwrap();
+        assert_eq!(pairs.iter().find(|(k, _)| k == "profile").unwrap().1, arr);
+    }
+}

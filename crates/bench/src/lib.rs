@@ -12,6 +12,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ingest_json;
+
 use baselines::{Hindsight, MintFramework, OtFull, OtHead, OtTail, Sieve, TracingFramework};
 use mint_core::{MintConfig, SamplingMode};
 use rca::{label_anomalous, LabelledTrace, MicroRank, RcaCase, RcaMethod, TraceAnomaly, TraceRca};

@@ -71,6 +71,13 @@ pub struct MintConfig {
     /// traces.  A full queue blocks the router (backpressure) instead of
     /// buffering unboundedly.
     pub shard_queue_depth: usize,
+    /// Number of traces the streaming router buffers per shard before
+    /// handing them to the worker in one channel send, amortizing the
+    /// per-send synchronization cost (1 = unbatched, send every trace
+    /// immediately).  Buffers are always flushed at epoch boundaries and at
+    /// end of stream, so batching never changes *what* a worker sees, only
+    /// how many wakeups it takes to see it.
+    pub dispatch_batch_size: usize,
 }
 
 impl Default for MintConfig {
@@ -100,6 +107,7 @@ impl Default for MintConfig {
             shard_count: 1,
             epoch_trace_count: 256,
             shard_queue_depth: 256,
+            dispatch_batch_size: 16,
         }
     }
 }
@@ -148,6 +156,13 @@ impl MintConfig {
         self
     }
 
+    /// Sets the per-shard dispatch batch size in traces (clamped to at
+    /// least 1; 1 disables batching).
+    pub fn with_dispatch_batch_size(mut self, batch: usize) -> Self {
+        self.dispatch_batch_size = batch.max(1);
+        self
+    }
+
     /// The γ base of the exponential bucketing, `γ = (1 + α) / (1 − α)`.
     pub fn numeric_gamma(&self) -> f64 {
         (1.0 + self.numeric_precision) / (1.0 - self.numeric_precision)
@@ -172,18 +187,25 @@ mod tests {
         assert_eq!(config.sampling_mode, SamplingMode::MintBiased);
         assert_eq!(config.epoch_trace_count, 256);
         assert_eq!(config.shard_queue_depth, 256);
+        assert_eq!(config.dispatch_batch_size, 16);
     }
 
     #[test]
     fn streaming_builders_clamp_to_one() {
         let config = MintConfig::default()
             .with_epoch_trace_count(0)
-            .with_shard_queue_depth(0);
+            .with_shard_queue_depth(0)
+            .with_dispatch_batch_size(0);
         assert_eq!(config.epoch_trace_count, 1);
         assert_eq!(config.shard_queue_depth, 1);
-        let config = config.with_epoch_trace_count(64).with_shard_queue_depth(8);
+        assert_eq!(config.dispatch_batch_size, 1);
+        let config = config
+            .with_epoch_trace_count(64)
+            .with_shard_queue_depth(8)
+            .with_dispatch_batch_size(4);
         assert_eq!(config.epoch_trace_count, 64);
         assert_eq!(config.shard_queue_depth, 8);
+        assert_eq!(config.dispatch_batch_size, 4);
     }
 
     #[test]

@@ -3,6 +3,51 @@
 //! The span parser clusters string attribute values by the similarity
 //! `δ(s1, s2) = |LCS(s1, s2)| / max(|s1|, |s2|)` computed over *word* tokens
 //! (Equation 1 of the paper).
+//!
+//! This module is the innermost ring of the ingest hot path: every string
+//! attribute of every span is tokenized, and every candidate template is
+//! scored with the LCS dynamic program.  Both are therefore allocation-free
+//! in steady state — [`tokenize_borrowed`] yields `&str` slices of the input
+//! value instead of fresh heap `String`s, and the LCS rows live in a
+//! thread-local scratch buffer reused across calls instead of two `vec!`
+//! allocations per comparison.
+
+use std::cell::RefCell;
+
+thread_local! {
+    /// Reusable DP rows for [`lcs_length`] / `StringTemplate::similarity_to`.
+    /// One pair per thread: the two-row LCS program never needs more, and the
+    /// buffers grow to the longest token sequence seen and stay there.
+    static LCS_SCRATCH: RefCell<(Vec<usize>, Vec<usize>)> =
+        const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// Runs `f` with the thread-local LCS scratch rows, cleared and resized to
+/// `width` zeroes each.  Callers must not re-enter (the template module and
+/// this module share the buffers, but never nest calls).
+pub(crate) fn with_lcs_scratch<R>(
+    width: usize,
+    f: impl FnOnce(&mut Vec<usize>, &mut Vec<usize>) -> R,
+) -> R {
+    LCS_SCRATCH.with(|cell| {
+        let (prev, curr) = &mut *cell.borrow_mut();
+        prev.clear();
+        prev.resize(width, 0);
+        curr.clear();
+        curr.resize(width, 0);
+        f(prev, curr)
+    })
+}
+
+/// Whether `ch` is separator punctuation that [`tokenize`] splits into its
+/// own token.
+#[inline]
+fn is_separator(ch: char) -> bool {
+    matches!(
+        ch,
+        ',' | '(' | ')' | '=' | '/' | '?' | '&' | ':' | '.' | '-' | '_'
+    )
+}
 
 /// Splits a string attribute value into word tokens.
 ///
@@ -14,64 +59,89 @@
 /// like `worker-pool-17` or `host-42.prod.internal` is isolated from their
 /// constant skeleton.
 ///
+/// This owned variant exists for callers that need `'static` tokens (tests,
+/// template storage); the hot path uses [`tokenize_borrowed`], which returns
+/// slices of the input and never touches the heap per token.
+///
 /// ```
 /// let tokens = mint_core::tokenize("SELECT * FROM orders WHERE id = 42");
 /// assert_eq!(tokens, vec!["SELECT", "*", "FROM", "orders", "WHERE", "id", "=", "42"]);
 /// ```
 pub fn tokenize(value: &str) -> Vec<String> {
-    let mut tokens = Vec::new();
-    let mut current = String::new();
-    for ch in value.chars() {
+    tokenize_borrowed(value)
+        .into_iter()
+        .map(str::to_owned)
+        .collect()
+}
+
+/// [`tokenize`], but the tokens are `&str` slices borrowed from `value`: one
+/// `Vec` allocation total, zero per-token heap traffic.  Token boundaries
+/// are byte-identical to the owned variant.
+pub fn tokenize_borrowed(value: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    tokenize_into(value, &mut out);
+    out
+}
+
+/// Appends the tokens of `value` to `out` (cleared first).  The fully
+/// allocation-free entry point for callers that hold a reusable buffer.
+pub fn tokenize_into<'a>(value: &'a str, out: &mut Vec<&'a str>) {
+    out.clear();
+    let mut start: Option<usize> = None;
+    for (index, ch) in value.char_indices() {
         if ch.is_whitespace() {
-            if !current.is_empty() {
-                tokens.push(std::mem::take(&mut current));
+            if let Some(s) = start.take() {
+                out.push(&value[s..index]);
             }
-        } else if matches!(
-            ch,
-            ',' | '(' | ')' | '=' | '/' | '?' | '&' | ':' | '.' | '-' | '_'
-        ) {
-            if !current.is_empty() {
-                tokens.push(std::mem::take(&mut current));
+        } else if is_separator(ch) {
+            if let Some(s) = start.take() {
+                out.push(&value[s..index]);
             }
-            tokens.push(ch.to_string());
-        } else {
-            current.push(ch);
+            out.push(&value[index..index + ch.len_utf8()]);
+        } else if start.is_none() {
+            start = Some(index);
         }
     }
-    if !current.is_empty() {
-        tokens.push(current);
+    if let Some(s) = start {
+        out.push(&value[s..]);
     }
-    tokens
 }
 
 /// Length of the longest common subsequence of two token slices.
 ///
-/// Uses the standard two-row dynamic program: `O(|a|·|b|)` time,
-/// `O(min(|a|,|b|))` space.
-pub fn lcs_length<T: PartialEq>(a: &[T], b: &[T]) -> usize {
+/// Uses the standard two-row dynamic program — `O(|a|·|b|)` time — over the
+/// thread-local scratch rows (no per-call allocation).  Generic over the two
+/// item types so borrowed tokens compare against owned ones without cloning
+/// (`&str` vs `String`, `String` vs `String`, …).
+pub fn lcs_length<A, B>(a: &[A], b: &[B]) -> usize
+where
+    A: PartialEq<B>,
+{
     if a.is_empty() || b.is_empty() {
         return 0;
     }
-    // Keep the inner loop over the shorter slice to minimize memory.
-    let (outer, inner) = if a.len() >= b.len() { (a, b) } else { (b, a) };
-    let mut prev = vec![0usize; inner.len() + 1];
-    let mut curr = vec![0usize; inner.len() + 1];
-    for item_o in outer {
-        for (j, item_i) in inner.iter().enumerate() {
-            curr[j + 1] = if item_o == item_i {
-                prev[j] + 1
-            } else {
-                prev[j + 1].max(curr[j])
-            };
+    with_lcs_scratch(b.len() + 1, |prev, curr| {
+        for item_a in a {
+            for (j, item_b) in b.iter().enumerate() {
+                curr[j + 1] = if item_a == item_b {
+                    prev[j] + 1
+                } else {
+                    prev[j + 1].max(curr[j])
+                };
+            }
+            std::mem::swap(prev, curr);
         }
-        std::mem::swap(&mut prev, &mut curr);
-    }
-    prev[inner.len()]
+        prev[b.len()]
+    })
 }
 
 /// The paper's similarity measure over already-tokenized strings:
 /// `|LCS| / max(len_a, len_b)`.  Two empty sequences are fully similar.
-pub fn similarity(a: &[String], b: &[String]) -> f64 {
+/// Generic over borrowed/owned token mixes like [`lcs_length`].
+pub fn similarity<A, B>(a: &[A], b: &[B]) -> f64
+where
+    A: PartialEq<B>,
+{
     let denom = a.len().max(b.len());
     if denom == 0 {
         return 1.0;
@@ -107,6 +177,35 @@ mod tests {
     }
 
     #[test]
+    fn borrowed_and_owned_tokenization_agree() {
+        for value in [
+            "SELECT * FROM orders WHERE id = 42",
+            "/v1/campus/user=abc",
+            "worker-pool-17",
+            "  padded   runs  ",
+            "",
+            "=",
+            "héllo wörld.été-42",
+            "ünïcode(…)tail",
+        ] {
+            let owned = tokenize(value);
+            let borrowed = tokenize_borrowed(value);
+            assert_eq!(owned, borrowed, "divergence on {value:?}");
+        }
+    }
+
+    #[test]
+    fn tokenize_into_reuses_the_buffer() {
+        let mut buffer = Vec::new();
+        tokenize_into("a b c", &mut buffer);
+        assert_eq!(buffer, vec!["a", "b", "c"]);
+        tokenize_into("x", &mut buffer);
+        assert_eq!(buffer, vec!["x"]);
+        tokenize_into("", &mut buffer);
+        assert!(buffer.is_empty());
+    }
+
+    #[test]
     fn lcs_of_identical_sequences_is_length() {
         let a = toks("select * from orders");
         assert_eq!(lcs_length(&a, &a), a.len());
@@ -115,7 +214,7 @@ mod tests {
     #[test]
     fn lcs_of_disjoint_sequences_is_zero() {
         assert_eq!(lcs_length(&toks("alpha beta"), &toks("gamma delta")), 0);
-        assert_eq!(lcs_length::<String>(&[], &toks("x")), 0);
+        assert_eq!(lcs_length::<String, String>(&[], &toks("x")), 0);
     }
 
     #[test]
@@ -127,13 +226,22 @@ mod tests {
     }
 
     #[test]
+    fn lcs_is_generic_over_borrowed_items() {
+        let owned = toks("select * from orders");
+        let borrowed = tokenize_borrowed("select * from users");
+        // &str vs String comparison, no clones.
+        assert_eq!(lcs_length(&borrowed, &owned), 3);
+        assert_eq!(similarity(&borrowed, &owned), 3.0 / 4.0);
+    }
+
+    #[test]
     fn similarity_matches_paper_formula() {
         let a = toks("select * from A");
         let b = toks("select * from B");
         let expected = 3.0 / 4.0;
         assert!((similarity(&a, &b) - expected).abs() < 1e-9);
         assert_eq!(similarity(&a, &a), 1.0);
-        assert_eq!(similarity(&[], &[]), 1.0);
+        assert_eq!(similarity::<String, String>(&[], &[]), 1.0);
     }
 
     #[test]

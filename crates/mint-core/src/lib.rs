@@ -70,7 +70,7 @@ pub use commonality::{commonality_statistics, CommonalityStats};
 pub use compress::{mint_compressed_size, CompressionBreakdown};
 pub use config::{MintConfig, SamplingMode};
 pub use cost::{CostReport, NetworkCost, StorageCost};
-pub use lcs::{lcs_length, similarity, tokenize};
+pub use lcs::{lcs_length, similarity, tokenize, tokenize_borrowed, tokenize_into};
 pub use merge::MergeStats;
 pub use params::{ParamValue, ParamsBuffer, SpanParams, TraceParams};
 pub use samplers::{EdgeCaseSampler, HeadSampler, SamplerDecision, SymptomSampler};

@@ -52,7 +52,6 @@ use crate::collector::{batch_duration_s, DeploymentReport, MintCollector, MintDe
 use crate::config::MintConfig;
 use crate::merge::{IncrementalMerger, MergeStats};
 use crate::MintBackend;
-use std::sync::mpsc;
 use std::time::{Duration, Instant};
 use trace_model::{TraceId, TraceSet};
 
@@ -190,29 +189,27 @@ impl ShardedDeployment {
             }
         }
 
-        // Workers borrow the batch and receive trace *indices* over the
-        // channels: routing stays O(1) per trace on the dispatch thread
-        // instead of deep-cloning every span (which would serialize
-        // O(batch bytes) of work ahead of the parallel section).
+        // The whole batch is in hand, so the partition is computed up front:
+        // each worker gets its complete index list at spawn and iterates it
+        // without any channel traffic — routing stays O(1) per trace on the
+        // dispatch thread, workers never block on a receive, and the
+        // per-trace send/recv synchronization of the previous
+        // channel-dispatch design disappears entirely.
         let ingest_start = Instant::now();
         let batch = traces.traces();
+        let mut partitions: Vec<Vec<usize>> = vec![Vec::new(); shard_count];
+        for (index, trace) in batch.iter().enumerate() {
+            partitions[shard_of(trace.trace_id(), shard_count)].push(index);
+        }
         std::thread::scope(|scope| {
-            let mut senders = Vec::with_capacity(shard_count);
             let mut handles = Vec::with_capacity(shard_count);
-            for shard in self.shards.iter_mut() {
-                let (sender, receiver) = mpsc::channel::<usize>();
-                senders.push(sender);
+            for (shard, indices) in self.shards.iter_mut().zip(&partitions) {
                 handles.push(scope.spawn(move || {
-                    while let Ok(index) = receiver.recv() {
+                    for &index in indices {
                         shard.ingest_trace(&batch[index]);
                     }
                 }));
             }
-            for (index, trace) in batch.iter().enumerate() {
-                let shard = shard_of(trace.trace_id(), shard_count);
-                senders[shard].send(index).expect("shard worker hung up");
-            }
-            drop(senders);
             for handle in handles {
                 handle.join().expect("shard worker panicked");
             }

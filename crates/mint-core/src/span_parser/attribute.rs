@@ -2,11 +2,19 @@
 
 use super::numeric::NumericBucketer;
 use super::template::StringTemplate;
-use crate::lcs::tokenize;
+use crate::lcs::tokenize_into;
 use crate::params::ParamValue;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::collections::HashMap;
 use trace_model::AttrValue;
+
+thread_local! {
+    /// Reusable candidate-id buffer for the online matching hot path, so
+    /// neither the structural fast path nor `best_match` allocates a fresh
+    /// `Vec<usize>` per attribute value.  The two consumers never nest.
+    static CANDIDATE_SCRATCH: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+}
 
 /// The pattern component produced by parsing one attribute value.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -67,15 +75,22 @@ impl PrefixIndex {
     /// Candidate template ids for a tokenized value: templates whose first
     /// constant token equals the value's first token, plus every template
     /// that starts with a variable slot.
-    pub fn candidates(&self, tokens: &[String]) -> Vec<usize> {
+    pub fn candidates<S: AsRef<str>>(&self, tokens: &[S]) -> Vec<usize> {
         let mut out = Vec::new();
+        self.candidates_into(tokens, &mut out);
+        out
+    }
+
+    /// [`Self::candidates`], appending into a reusable buffer (cleared
+    /// first) — the allocation-free entry point used by the ingest path.
+    pub fn candidates_into<S: AsRef<str>>(&self, tokens: &[S], out: &mut Vec<usize>) {
+        out.clear();
         if let Some(first) = tokens.first() {
-            if let Some(ids) = self.by_first_const.get(first) {
+            if let Some(ids) = self.by_first_const.get(first.as_ref()) {
                 out.extend_from_slice(ids);
             }
         }
         out.extend_from_slice(&self.leading_var);
-        out
     }
 
     /// Number of indexed templates.
@@ -139,19 +154,24 @@ impl StringAttributeParser {
 
     /// Finds the best-matching template for a tokenized value.
     /// Returns `(template_id, similarity)`.
-    pub fn best_match(&self, tokens: &[String]) -> Option<(usize, f64)> {
-        let candidate_ids: Vec<usize> = if self.use_index {
-            self.index.candidates(tokens)
-        } else {
-            (0..self.templates.len()).collect()
-        };
-        let mut best: Option<(usize, f64)> = None;
-        for id in candidate_ids {
-            let score = self.templates[id].similarity_to(tokens);
-            if best.map(|(_, s)| score > s).unwrap_or(true) {
-                best = Some((id, score));
+    pub fn best_match<S: AsRef<str>>(&self, tokens: &[S]) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = CANDIDATE_SCRATCH.with(|cell| {
+            let candidate_ids = &mut *cell.borrow_mut();
+            if self.use_index {
+                self.index.candidates_into(tokens, candidate_ids);
+            } else {
+                candidate_ids.clear();
+                candidate_ids.extend(0..self.templates.len());
             }
-        }
+            let mut best: Option<(usize, f64)> = None;
+            for &id in candidate_ids.iter() {
+                let score = self.templates[id].similarity_to(tokens);
+                if best.map(|(_, s)| score > s).unwrap_or(true) {
+                    best = Some((id, score));
+                }
+            }
+            best
+        });
         // Fall back to a full scan when pruning found nothing acceptable:
         // generalized templates may no longer share the first token.
         if self.use_index && best.map(|(_, s)| s < self.threshold).unwrap_or(true) {
@@ -169,40 +189,70 @@ impl StringAttributeParser {
     /// extracts the variable parameters.
     ///
     /// Returns `(template_id, params)`.
+    ///
+    /// Allocation discipline: the value is tokenized into borrowed `&str`
+    /// slices (one `Vec`, no per-token strings) and the candidate-id list
+    /// lives in a thread-local scratch buffer, so in steady state — where
+    /// the structural fast path hits — the only heap work is the extracted
+    /// parameter strings themselves.
     pub fn parse(&mut self, value: &str) -> (usize, Vec<String>) {
-        let tokens = tokenize(value);
+        let mut tokens: Vec<&str> = Vec::new();
+        self.parse_with_buffer(value, &mut tokens)
+    }
+
+    /// [`Self::parse`], tokenizing into a caller-provided buffer (cleared
+    /// first).  A caller parsing many values — one span carries many
+    /// attributes — pays for one token `Vec` total instead of one per value.
+    pub fn parse_with_buffer<'a>(
+        &mut self,
+        value: &'a str,
+        tokens: &mut Vec<&'a str>,
+    ) -> (usize, Vec<String>) {
+        tokenize_into(value, tokens);
+        let tokens = &tokens[..];
 
         // Fast path: structural alignment against the indexed candidates.
         // In steady state almost every value aligns with an existing
         // template, so the quadratic LCS similarity is rarely needed.
         // Candidates with more constant tokens are preferred so an overly
-        // general template does not shadow a more specific one.
-        let mut candidates: Vec<usize> = if self.use_index {
-            self.index.candidates(&tokens)
-        } else {
-            (0..self.templates.len()).collect()
-        };
-        candidates.sort_by_key(|&id| std::cmp::Reverse(self.templates[id].const_tokens().len()));
-        for id in candidates {
-            if let Some(params) = self.templates[id].match_and_extract(&tokens) {
-                return (id, params);
+        // general template does not shadow a more specific one; ties break
+        // by id so the scan order is fully deterministic.
+        let structural = CANDIDATE_SCRATCH.with(|cell| {
+            let candidates = &mut *cell.borrow_mut();
+            if self.use_index {
+                self.index.candidates_into(tokens, candidates);
+            } else {
+                candidates.clear();
+                candidates.extend(0..self.templates.len());
             }
+            candidates.sort_unstable_by_key(|&id| {
+                (std::cmp::Reverse(self.templates[id].const_count()), id)
+            });
+            candidates.iter().find_map(|&id| {
+                self.templates[id]
+                    .match_and_extract(tokens)
+                    .map(|params| (id, params))
+            })
+        });
+        // The scratch borrow has ended; `best_match` below re-enters it.
+        if let Some(hit) = structural {
+            return hit;
         }
 
-        match self.best_match(&tokens) {
+        match self.best_match(tokens) {
             Some((id, score)) if score >= self.threshold => {
-                if let Some(params) = self.templates[id].match_and_extract(&tokens) {
+                if let Some(params) = self.templates[id].match_and_extract(tokens) {
                     return (id, params);
                 }
                 // Similar but the skeleton does not align: generalize the
                 // template so this (and future) values fit, then re-extract.
                 let first_before = self.templates[id].first_const().map(str::to_owned);
-                self.templates[id].generalize(&tokens);
+                self.templates[id].generalize(tokens);
                 if self.templates[id].first_const().map(str::to_owned) != first_before {
                     self.index.rebuild(&self.templates);
                 }
                 let params = self.templates[id]
-                    .match_and_extract(&tokens)
+                    .match_and_extract(tokens)
                     .unwrap_or_else(|| vec![value.to_owned()]);
                 (id, params)
             }
@@ -210,8 +260,8 @@ impl StringAttributeParser {
                 // Seed a new template, pre-masking identifier-like tokens so
                 // one-off values (ids, IPs, counters) do not each become a
                 // distinct pattern.
-                let template = StringTemplate::from_raw_tokens(&tokens);
-                let params = template.match_and_extract(&tokens).unwrap_or_default();
+                let template = StringTemplate::from_raw_tokens(tokens);
+                let params = template.match_and_extract(tokens).unwrap_or_default();
                 let id = self.add_template(template);
                 (id, params)
             }
@@ -249,9 +299,20 @@ impl AttributeParser {
 
     /// Parses a value into its pattern component and parameter.
     pub fn parse(&mut self, value: &AttrValue) -> (AttrPattern, ParamValue) {
+        let mut tokens: Vec<&str> = Vec::new();
+        self.parse_with_buffer(value, &mut tokens)
+    }
+
+    /// [`Self::parse`] with a caller-provided token buffer — see
+    /// [`StringAttributeParser::parse_with_buffer`].
+    pub fn parse_with_buffer<'a>(
+        &mut self,
+        value: &'a AttrValue,
+        tokens: &mut Vec<&'a str>,
+    ) -> (AttrPattern, ParamValue) {
         match (self, value) {
             (AttributeParser::Strings(parser), AttrValue::Str(s)) => {
-                let (template_id, params) = parser.parse(s);
+                let (template_id, params) = parser.parse_with_buffer(s, tokens);
                 (
                     AttrPattern::Template { template_id },
                     ParamValue::StrVars(params),
@@ -293,6 +354,7 @@ impl AttributeParser {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lcs::tokenize_borrowed;
 
     #[test]
     fn string_parser_reuses_templates_for_similar_values() {
@@ -348,9 +410,12 @@ mod tests {
         for value in ["SELECT * FROM a", "UPDATE b SET x = 1", "DELETE FROM c"] {
             parser.parse(value);
         }
-        let tokens = tokenize("SELECT * FROM zzz");
+        let tokens = tokenize_borrowed("SELECT * FROM zzz");
         let candidates = parser.index.candidates(&tokens);
         assert_eq!(candidates.len(), 1);
+        let mut reused = vec![99usize; 4];
+        parser.index.candidates_into(&tokens, &mut reused);
+        assert_eq!(reused, candidates);
     }
 
     #[test]

@@ -403,12 +403,16 @@ impl SpanParser {
         self.parsed_spans += 1;
         let mut attr_patterns = Vec::with_capacity(span.attributes().len());
         let mut attr_params = Vec::with_capacity(span.attributes().len());
+        // One token buffer for the whole span: every attribute value is
+        // tokenized into it in turn, so the per-value hot path allocates no
+        // token storage at all.
+        let mut token_buffer: Vec<&str> = Vec::new();
         for (key, value) in span.attributes().iter() {
             let parser = self
                 .attr_parsers
                 .entry(key.to_owned())
                 .or_insert_with(|| AttributeParser::for_value(value, self.threshold, self.alpha));
-            let (pattern, param) = parser.parse(value);
+            let (pattern, param) = parser.parse_with_buffer(value, &mut token_buffer);
             attr_patterns.push((key.to_owned(), pattern));
             attr_params.push((key.to_owned(), param));
         }

@@ -6,7 +6,7 @@
 //! every cluster is collapsed into a single [`StringTemplate`].
 
 use super::template::StringTemplate;
-use crate::lcs::{similarity, tokenize};
+use crate::lcs::{similarity, tokenize_borrowed};
 
 /// Clusters raw string values by LCS similarity (threshold `threshold`) and
 /// returns one template per cluster.
@@ -17,11 +17,13 @@ use crate::lcs::{similarity, tokenize};
 /// starts a new cluster.  This is `O(n · k)` with `k` clusters, which matches
 /// the paper's observation that cluster counts stay small (tens of patterns
 /// per attribute).
-pub fn cluster_strings(values: &[&str], threshold: f64) -> Vec<StringTemplate> {
-    let mut representatives: Vec<Vec<String>> = Vec::new();
+pub fn cluster_strings<'a>(values: &[&'a str], threshold: f64) -> Vec<StringTemplate> {
+    // Representatives borrow their tokens straight from the input values —
+    // the whole clustering pass allocates no token strings.
+    let mut representatives: Vec<Vec<&'a str>> = Vec::new();
     let mut templates: Vec<StringTemplate> = Vec::new();
     for value in values {
-        let tokens = tokenize(value);
+        let tokens = tokenize_borrowed(value);
         let mut assigned = false;
         for (idx, representative) in representatives.iter().enumerate() {
             if similarity(representative, &tokens) >= threshold {
@@ -95,7 +97,9 @@ mod tests {
         let templates = cluster_strings(&values, 0.8);
         assert_eq!(templates.len(), 1);
         for value in values {
-            assert!(templates[0].match_and_extract(&tokenize(value)).is_some());
+            assert!(templates[0]
+                .match_and_extract(&tokenize_borrowed(value))
+                .is_some());
         }
     }
 }

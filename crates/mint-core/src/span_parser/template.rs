@@ -1,7 +1,8 @@
 //! String templates: the common skeleton of a cluster of attribute values.
 
-use crate::lcs::{lcs_length, similarity};
+use crate::lcs::{lcs_length, similarity, with_lcs_scratch};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::fmt;
 
 /// One token of a string template: either a constant word or a variable slot.
@@ -33,11 +34,20 @@ pub fn is_variable_token(token: &str) -> bool {
     token.chars().any(|c| c.is_ascii_digit())
 }
 
+thread_local! {
+    /// Flat `(template_len + 1) × (tokens_len + 1)` reachability table for the
+    /// exact matcher's DP fallback, reused across calls.
+    static MATCH_SCRATCH: RefCell<Vec<bool>> = const { RefCell::new(Vec::new()) };
+}
+
 impl StringTemplate {
     /// Creates a template whose tokens are all constants (a cluster of one).
-    pub fn from_tokens(tokens: &[String]) -> Self {
+    pub fn from_tokens<S: AsRef<str>>(tokens: &[S]) -> Self {
         StringTemplate {
-            tokens: tokens.iter().cloned().map(TemplateToken::Const).collect(),
+            tokens: tokens
+                .iter()
+                .map(|t| TemplateToken::Const(t.as_ref().to_owned()))
+                .collect(),
         }
     }
 
@@ -45,15 +55,16 @@ impl StringTemplate {
     /// as variable slots (one slot per masked token).  This is how online
     /// parsing and offline clustering seed new templates so that identifier
     /// values never become constants.
-    pub fn from_raw_tokens(tokens: &[String]) -> Self {
+    pub fn from_raw_tokens<S: AsRef<str>>(tokens: &[S]) -> Self {
         StringTemplate {
             tokens: tokens
                 .iter()
                 .map(|t| {
+                    let t = t.as_ref();
                     if is_variable_token(t) {
                         TemplateToken::Var
                     } else {
-                        TemplateToken::Const(t.clone())
+                        TemplateToken::Const(t.to_owned())
                     }
                 })
                 .collect(),
@@ -71,6 +82,12 @@ impl StringTemplate {
             .iter()
             .filter(|t| matches!(t, TemplateToken::Var))
             .count()
+    }
+
+    /// Number of constant tokens (no allocation — the hot-path sort key for
+    /// structural candidate ordering).
+    pub fn const_count(&self) -> usize {
+        self.tokens.len() - self.var_count()
     }
 
     /// The constant tokens, in order.
@@ -100,10 +117,10 @@ impl StringTemplate {
 
     /// Similarity between this template and a tokenized value, following the
     /// paper's LCS formula.  Variable slots match any single token.
-    pub fn similarity_to(&self, tokens: &[String]) -> f64 {
-        if self.tokens.is_empty() && tokens.is_empty() {
-            return 1.0;
-        }
+    ///
+    /// Generic over borrowed (`&str`) and owned (`String`) tokens, and runs
+    /// on the shared thread-local LCS scratch rows — no per-call allocation.
+    pub fn similarity_to<S: AsRef<str>>(&self, tokens: &[S]) -> f64 {
         let denom = self.tokens.len().max(tokens.len());
         if denom == 0 {
             return 1.0;
@@ -111,29 +128,30 @@ impl StringTemplate {
         // LCS where Const must equal the token and Var matches anything.
         let a = &self.tokens;
         let b = tokens;
-        let mut prev = vec![0usize; b.len() + 1];
-        let mut curr = vec![0usize; b.len() + 1];
-        for token_a in a {
-            for (j, token_b) in b.iter().enumerate() {
-                let matches = match token_a {
-                    TemplateToken::Const(s) => s == token_b,
-                    TemplateToken::Var => true,
-                };
-                curr[j + 1] = if matches {
-                    prev[j] + 1
-                } else {
-                    prev[j + 1].max(curr[j])
-                };
+        let best = with_lcs_scratch(b.len() + 1, |prev, curr| {
+            for token_a in a {
+                for (j, token_b) in b.iter().enumerate() {
+                    let matches = match token_a {
+                        TemplateToken::Const(s) => s == token_b.as_ref(),
+                        TemplateToken::Var => true,
+                    };
+                    curr[j + 1] = if matches {
+                        prev[j] + 1
+                    } else {
+                        prev[j + 1].max(curr[j])
+                    };
+                }
+                std::mem::swap(prev, curr);
             }
-            std::mem::swap(&mut prev, &mut curr);
-        }
-        prev[b.len()] as f64 / denom as f64
+            prev[b.len()]
+        });
+        best as f64 / denom as f64
     }
 
     /// Generalizes the template so that it also covers `tokens`: constant
     /// tokens not shared with `tokens` become variable slots (consecutive
     /// slots are collapsed).  Returns `true` if the template changed.
-    pub fn generalize(&mut self, tokens: &[String]) -> bool {
+    pub fn generalize<S: AsRef<str>>(&mut self, tokens: &[S]) -> bool {
         let merged = merge(&self.tokens, tokens);
         if merged != self.tokens {
             self.tokens = merged;
@@ -148,14 +166,35 @@ impl StringTemplate {
     /// single space; a slot may be empty).
     ///
     /// Returns `None` if the constant skeleton does not align with the value.
-    pub fn match_and_extract(&self, tokens: &[String]) -> Option<Vec<String>> {
+    ///
+    /// Two-tier matcher: a linear greedy scan handles the common case with no
+    /// backtracking; when it fails, an exact `O(|template|·|tokens|)`
+    /// reachability DP decides matchability and reconstructs the
+    /// leftmost-shortest slot assignment.  The fallback is what makes values
+    /// whose parameters *contain* the next constant anchor match (template
+    /// `get <*> now` vs value `get now now`): the greedy scan stops a slot at
+    /// the first anchor occurrence and spuriously fails, while the DP
+    /// considers every slot boundary.  Where the greedy scan succeeds, its
+    /// answer is already leftmost-shortest, so the two tiers never disagree.
+    pub fn match_and_extract<S: AsRef<str>>(&self, tokens: &[S]) -> Option<Vec<String>> {
+        if let Some(params) = self.match_greedy(tokens) {
+            return Some(params);
+        }
+        self.match_exact(tokens)
+    }
+
+    /// Greedy one-pass matcher: each variable slot runs until the first
+    /// occurrence of the next constant anchor.  Sound (a `Some` is always a
+    /// valid match) but incomplete — it misses matches where a slot must
+    /// swallow a token equal to its anchor.
+    fn match_greedy<S: AsRef<str>>(&self, tokens: &[S]) -> Option<Vec<String>> {
         let mut params = Vec::with_capacity(self.var_count());
         let mut pos = 0usize;
         let mut i = 0usize;
         while i < self.tokens.len() {
             match &self.tokens[i] {
                 TemplateToken::Const(expected) => {
-                    if pos < tokens.len() && &tokens[pos] == expected {
+                    if pos < tokens.len() && tokens[pos].as_ref() == expected {
                         pos += 1;
                         i += 1;
                     } else {
@@ -171,7 +210,7 @@ impl StringTemplate {
                     let start = pos;
                     match anchor {
                         Some(anchor) => {
-                            while pos < tokens.len() && tokens[pos] != anchor {
+                            while pos < tokens.len() && tokens[pos].as_ref() != anchor {
                                 pos += 1;
                             }
                             if pos >= tokens.len() {
@@ -180,7 +219,7 @@ impl StringTemplate {
                         }
                         None => pos = tokens.len(),
                     }
-                    params.push(tokens[start..pos].join(" "));
+                    params.push(join_tokens(&tokens[start..pos]));
                     i += 1;
                 }
             }
@@ -190,6 +229,68 @@ impl StringTemplate {
         } else {
             None
         }
+    }
+
+    /// Exact matcher: computes the reachability table
+    /// `can[i][pos] ⇔ template[i..] matches tokens[pos..]`, then walks
+    /// forward assigning each variable slot the shortest span that keeps the
+    /// remainder matchable.  The table lives in a reusable thread-local
+    /// buffer.
+    fn match_exact<S: AsRef<str>>(&self, tokens: &[S]) -> Option<Vec<String>> {
+        let n = self.tokens.len();
+        let m = tokens.len();
+        let width = m + 1;
+        MATCH_SCRATCH.with(|cell| {
+            let can = &mut *cell.borrow_mut();
+            can.clear();
+            can.resize((n + 1) * width, false);
+            // Base row: an exhausted template matches only an exhausted value.
+            can[n * width + m] = true;
+            for i in (0..n).rev() {
+                let (lower, upper) = can.split_at_mut((i + 1) * width);
+                let row = &mut lower[i * width..];
+                let next = &upper[..width];
+                match &self.tokens[i] {
+                    TemplateToken::Const(expected) => {
+                        for pos in 0..m {
+                            row[pos] = tokens[pos].as_ref() == expected && next[pos + 1];
+                        }
+                        row[m] = false;
+                    }
+                    TemplateToken::Var => {
+                        // A slot may consume any suffix-aligned span:
+                        // row[pos] = OR of next[pos..=m].
+                        let mut any = next[m];
+                        row[m] = any;
+                        for pos in (0..m).rev() {
+                            any |= next[pos];
+                            row[pos] = any;
+                        }
+                    }
+                }
+            }
+            if !can[0] {
+                return None;
+            }
+            // Forward reconstruction: every step stays on a reachable cell.
+            let mut params = Vec::with_capacity(self.var_count());
+            let mut pos = 0usize;
+            for (i, token) in self.tokens.iter().enumerate() {
+                match token {
+                    TemplateToken::Const(_) => pos += 1,
+                    TemplateToken::Var => {
+                        let next = &can[(i + 1) * width..(i + 2) * width];
+                        let end = (pos..=m)
+                            .find(|&p| next[p])
+                            .expect("reachable Var cell must have a reachable successor");
+                        params.push(join_tokens(&tokens[pos..end]));
+                        pos = end;
+                    }
+                }
+            }
+            debug_assert_eq!(pos, m);
+            Some(params)
+        })
     }
 
     /// Reconstructs a (whitespace-normalized) value from per-slot parameters.
@@ -240,9 +341,10 @@ impl StringTemplate {
     }
 
     /// Similarity between the constant skeletons of two templates.
+    /// Compares the borrowed const tokens directly — no cloning.
     pub fn skeleton_similarity(&self, other: &StringTemplate) -> f64 {
-        let a: Vec<String> = self.const_tokens().iter().map(|s| s.to_string()).collect();
-        let b: Vec<String> = other.const_tokens().iter().map(|s| s.to_string()).collect();
+        let a = self.const_tokens();
+        let b = other.const_tokens();
         if a.is_empty() && b.is_empty() {
             return 1.0;
         }
@@ -256,16 +358,33 @@ impl fmt::Display for StringTemplate {
     }
 }
 
+/// Joins slot tokens with single spaces into one owned parameter string.
+fn join_tokens<S: AsRef<str>>(tokens: &[S]) -> String {
+    if tokens.is_empty() {
+        return String::new();
+    }
+    let capacity = tokens.iter().map(|t| t.as_ref().len()).sum::<usize>() + tokens.len() - 1;
+    let mut out = String::with_capacity(capacity);
+    for (index, token) in tokens.iter().enumerate() {
+        if index > 0 {
+            out.push(' ');
+        }
+        out.push_str(token.as_ref());
+    }
+    out
+}
+
 /// Merges a template token sequence with a raw token sequence: tokens on the
 /// LCS stay constant, everything else becomes a (collapsed) variable slot.
-fn merge(template: &[TemplateToken], tokens: &[String]) -> Vec<TemplateToken> {
+fn merge<S: AsRef<str>>(template: &[TemplateToken], tokens: &[S]) -> Vec<TemplateToken> {
     // Dynamic program over (template, tokens) where only Const tokens match.
     let n = template.len();
     let m = tokens.len();
     let mut dp = vec![vec![0usize; m + 1]; n + 1];
     for i in (0..n).rev() {
         for j in (0..m).rev() {
-            let matches = matches!(&template[i], TemplateToken::Const(s) if s == &tokens[j]);
+            let matches =
+                matches!(&template[i], TemplateToken::Const(s) if s == tokens[j].as_ref());
             dp[i][j] = if matches {
                 dp[i + 1][j + 1] + 1
             } else {
@@ -282,7 +401,7 @@ fn merge(template: &[TemplateToken], tokens: &[String]) -> Vec<TemplateToken> {
     };
     let (mut i, mut j) = (0usize, 0usize);
     while i < n && j < m {
-        let matches = matches!(&template[i], TemplateToken::Const(s) if s == &tokens[j]);
+        let matches = matches!(&template[i], TemplateToken::Const(s) if s == tokens[j].as_ref());
         if matches {
             out.push(template[i].clone());
             i += 1;
@@ -302,21 +421,17 @@ fn merge(template: &[TemplateToken], tokens: &[String]) -> Vec<TemplateToken> {
 }
 
 /// Sanity check used by `lcs_length` consumers: kept here so the module has a
-/// single place exercising the generic LCS against template merging.
+/// single place exercising the generic LCS against template merging.  The
+/// borrowed const tokens compare against owned value tokens directly.
 #[allow(dead_code)]
 fn template_lcs(template: &StringTemplate, tokens: &[String]) -> usize {
-    let consts: Vec<String> = template
-        .const_tokens()
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
-    lcs_length(&consts, tokens)
+    lcs_length(&template.const_tokens(), tokens)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::lcs::tokenize;
+    use crate::lcs::{tokenize, tokenize_borrowed};
 
     fn template_from(values: &[&str]) -> StringTemplate {
         let mut template = StringTemplate::from_tokens(&tokenize(values[0]));
@@ -376,11 +491,89 @@ mod tests {
     }
 
     #[test]
+    fn match_accepts_borrowed_tokens() {
+        let t = template_from(&["select * from A", "select * from B"]);
+        let params = t
+            .match_and_extract(&tokenize_borrowed("select * from orders"))
+            .unwrap();
+        assert_eq!(params, vec!["orders".to_string()]);
+        assert!(t.similarity_to(&tokenize_borrowed("select * from C")) >= 0.8);
+    }
+
+    #[test]
     fn empty_var_slot_is_allowed() {
         let t = template_from(&["get user alice now", "get user now"]);
         // "alice" vs nothing: slot may be empty.
         let params = t.match_and_extract(&tokenize("get user now")).unwrap();
         assert_eq!(params, vec![String::new()]);
+    }
+
+    #[test]
+    fn anchor_token_inside_slot_still_matches() {
+        // The headline regression: a parameter equal to the slot's next
+        // constant anchor must not break the match.  Template `get <*> now`
+        // vs value `get now now` used to return `None` because the greedy
+        // scan stopped the slot at the first `now`.
+        let t = template_from(&["get x now", "get y now"]);
+        assert_eq!(t.masked(), "get <*> now");
+        let params = t.match_and_extract(&tokenize("get now now")).unwrap();
+        assert_eq!(params, vec!["now".to_string()]);
+    }
+
+    #[test]
+    fn anchor_heavy_slots_resolve_leftmost_shortest() {
+        // Multi-token slot containing several anchor occurrences.
+        let t = template_from(&["get x now", "get y now"]);
+        assert_eq!(
+            t.match_and_extract(&tokenize("get now and now now"))
+                .unwrap(),
+            vec!["now and now".to_string()]
+        );
+        // Two slots sharing an anchor token: the DP assigns each slot the
+        // shortest span that keeps the rest matchable.
+        let t = template_from(&["a x b y c", "a z b w c"]);
+        assert_eq!(t.masked(), "a <*> b <*> c");
+        assert_eq!(
+            t.match_and_extract(&tokenize("a b b b c")).unwrap(),
+            vec![String::new(), "b b".to_string()]
+        );
+        assert_eq!(
+            t.match_and_extract(&tokenize("a c b b c")).unwrap(),
+            vec!["c".to_string(), "b".to_string()]
+        );
+    }
+
+    #[test]
+    fn anchor_in_trailing_open_slot_matches() {
+        // Slot at the end of the template: no anchor, greedy already handles
+        // it; slot before a final anchor equal to its own content does not.
+        let t = template_from(&["run job 1 end", "run job 2 end"]);
+        assert_eq!(t.masked(), "run job <*> end");
+        assert_eq!(
+            t.match_and_extract(&tokenize("run job end end")).unwrap(),
+            vec!["end".to_string()]
+        );
+        assert!(t.match_and_extract(&tokenize("run job end")).unwrap()[0].is_empty());
+        // Still rejects genuinely non-matching values.
+        assert!(t.match_and_extract(&tokenize("run job end stop")).is_none());
+        assert!(t.match_and_extract(&tokenize("walk job x end")).is_none());
+    }
+
+    #[test]
+    fn exact_matcher_agrees_with_greedy_where_greedy_succeeds() {
+        let t = template_from(&[
+            "select * from A where id = 1",
+            "select * from B where id = 2",
+        ]);
+        let tokens = tokenize("select * from shipments where id = 9");
+        assert_eq!(t.match_greedy(&tokens), t.match_exact(&tokens));
+        let t2 = template_from(&["get x now", "get y now"]);
+        let ok = tokenize("get later now");
+        assert_eq!(t2.match_greedy(&ok), t2.match_exact(&ok));
+        // And on the bug input the exact matcher strictly extends greedy.
+        let bug = tokenize("get now now");
+        assert_eq!(t2.match_greedy(&bug), None);
+        assert!(t2.match_exact(&bug).is_some());
     }
 
     #[test]
@@ -394,6 +587,14 @@ mod tests {
         let params = t.match_and_extract(&tokens).unwrap();
         let rebuilt = t.reconstruct(&params);
         assert_eq!(tokenize(&rebuilt), tokens);
+    }
+
+    #[test]
+    fn reconstruct_roundtrips_anchor_bearing_params() {
+        let t = template_from(&["get x now", "get y now"]);
+        let tokens = tokenize("get now now");
+        let params = t.match_and_extract(&tokens).unwrap();
+        assert_eq!(tokenize(&t.reconstruct(&params)), tokens);
     }
 
     #[test]
@@ -420,6 +621,15 @@ mod tests {
     }
 
     #[test]
+    fn const_count_matches_const_tokens() {
+        let t = template_from(&["select * from A where id = 1"]);
+        assert_eq!(t.const_count(), t.const_tokens().len());
+        let g = template_from(&["select * from A", "select * from B"]);
+        assert_eq!(g.const_count(), 3);
+        assert_eq!(g.const_count() + g.var_count(), g.tokens().len());
+    }
+
+    #[test]
     fn stored_size_is_positive_and_display_matches_masked() {
         let t = template_from(&["select * from A", "select * from B"]);
         assert!(t.stored_size() > 0);
@@ -432,5 +642,12 @@ mod tests {
         let b = template_from(&["select * from C where x = 1", "select * from D where x = 2"]);
         assert!(a.skeleton_similarity(&b) >= 0.5);
         assert_eq!(a.skeleton_similarity(&a), 1.0);
+    }
+
+    #[test]
+    fn template_lcs_counts_shared_consts() {
+        let t = template_from(&["select * from A", "select * from B"]);
+        assert_eq!(template_lcs(&t, &tokenize("select * from anything")), 3);
+        assert_eq!(template_lcs(&t, &tokenize("nothing shared")), 0);
     }
 }

@@ -84,8 +84,12 @@ pub struct EpochStats {
 
 /// Messages on a shard worker's bounded ingest queue.
 enum ShardMsg {
-    /// One trace to ingest.
-    Trace(Box<Trace>),
+    /// A batch of traces to ingest, in arrival order.  The router buffers up
+    /// to [`MintConfig::dispatch_batch_size`] traces per shard before
+    /// sending, amortizing the channel synchronization; buffers are always
+    /// flushed before an epoch barrier and at end of stream, so batching is
+    /// invisible to everything except the send count.
+    Batch(Vec<Trace>),
     /// Epoch barrier: hand the deployment to the coordinator and block
     /// until it comes back.
     EpochEnd,
@@ -271,7 +275,11 @@ impl StreamingDeployment {
                 let mut shard = state.take().expect("shard state present at spawn");
                 scope.spawn(move || loop {
                     match work_rx.recv() {
-                        Ok(ShardMsg::Trace(trace)) => shard.ingest_trace(&trace),
+                        Ok(ShardMsg::Batch(batch)) => {
+                            for trace in &batch {
+                                shard.ingest_trace(trace);
+                            }
+                        }
                         Ok(ShardMsg::EpochEnd) => {
                             state_tx.send(shard).expect("coordinator hung up");
                             shard = match resume_rx.recv() {
@@ -292,19 +300,43 @@ impl StreamingDeployment {
                 });
             }
 
+            // Per-shard dispatch buffers: traces accumulate here and ship in
+            // one channel send per `dispatch_batch_size`, flushed before
+            // every epoch barrier and at end of stream.
+            let batch_size = self.config.dispatch_batch_size.max(1);
+            let mut pending: Vec<Vec<Trace>> = (0..shard_count)
+                .map(|_| Vec::with_capacity(batch_size))
+                .collect();
+            let flush = |pending: &mut Vec<Vec<Trace>>, work_txs: &[mpsc::SyncSender<ShardMsg>]| {
+                for (buffer, work_tx) in pending.iter_mut().zip(work_txs) {
+                    if !buffer.is_empty() {
+                        work_tx
+                            .send(ShardMsg::Batch(std::mem::take(buffer)))
+                            .expect("shard worker hung up");
+                    }
+                }
+            };
+
             for trace in prefix.drain(..).chain(source.by_ref()) {
                 for span in trace.spans() {
                     min_start = min_start.min(span.start_time_us());
                     max_end = max_end.max(span.end_time_us());
                 }
                 let shard = shard_of(trace.trace_id(), shard_count);
-                work_txs[shard]
-                    .send(ShardMsg::Trace(Box::new(trace)))
-                    .expect("shard worker hung up");
+                pending[shard].push(trace);
+                if pending[shard].len() >= batch_size {
+                    let batch =
+                        std::mem::replace(&mut pending[shard], Vec::with_capacity(batch_size));
+                    work_txs[shard]
+                        .send(ShardMsg::Batch(batch))
+                        .expect("shard worker hung up");
+                }
                 epoch_fill += 1;
                 if epoch_fill == epoch_size as u64 {
-                    // Epoch barrier: collect every worker's state, merge
-                    // incrementally, hand the states back.
+                    // Epoch barrier: drain the dispatch buffers, collect
+                    // every worker's state, merge incrementally, hand the
+                    // states back.
+                    flush(&mut pending, &work_txs);
                     for work_tx in &work_txs {
                         work_tx
                             .send(ShardMsg::EpochEnd)
@@ -332,8 +364,9 @@ impl StreamingDeployment {
                 }
             }
 
-            // Stream exhausted: close the queues and collect the final
-            // states.
+            // Stream exhausted: drain the dispatch buffers, close the
+            // queues and collect the final states.
+            flush(&mut pending, &work_txs);
             drop(work_txs);
             for (state, state_rx) in states.iter_mut().zip(&state_rxs) {
                 *state = Some(state_rx.recv().expect("shard worker panicked"));
@@ -502,6 +535,46 @@ mod tests {
         assert!(observed.last().unwrap().2);
         let total: u64 = observed.iter().map(|(_, traces, _)| traces).sum();
         assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn dispatch_batching_is_invisible_to_results() {
+        // Batch size only changes how many channel sends the router makes;
+        // reports and per-trace answers must be identical across sizes,
+        // including batches larger than the epoch and the queue.
+        // Approximate answers are compared order-insensitively: the span
+        // order of an approximate view follows backend map iteration, which
+        // is instance-specific even for identical content.
+        use crate::QueryResult;
+        let traces = workload(150);
+        let runs: Vec<_> = [1usize, 4, 64]
+            .iter()
+            .map(|&batch| {
+                let config = MintConfig::default()
+                    .with_shard_count(3)
+                    .with_epoch_trace_count(20)
+                    .with_shard_queue_depth(8)
+                    .with_dispatch_batch_size(batch)
+                    .with_sampling_mode(SamplingMode::AbnormalTag);
+                let mut streaming = StreamingDeployment::new(config);
+                let report = streaming.process(&traces);
+                let queries: Vec<String> = traces
+                    .iter()
+                    .map(|t| match streaming.backend().query(t.trace_id()) {
+                        QueryResult::Approximate(approx) => {
+                            let mut spans: Vec<String> =
+                                approx.spans.iter().map(|s| format!("{s:?}")).collect();
+                            spans.sort();
+                            format!("approx[{}]: {}", approx.matched_segments, spans.join(";"))
+                        }
+                        other => format!("{other:?}"),
+                    })
+                    .collect();
+                (report, queries)
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[0], runs[2]);
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! Property tests for the template matcher's load-bearing invariants.
+//!
+//! The two-tier matcher (greedy scan + exact reachability DP, see
+//! `span_parser::template`) must uphold, for *every* template/value pair:
+//!
+//! 1. **Generalize ⇒ match** — after `generalize(tokens)`, both the
+//!    template's seed value and the generalized-to value match.  This is
+//!    exactly the invariant the greedy-only matcher violated: when a slot's
+//!    content contains the slot's own anchor token (template `get <*> now`
+//!    vs value `get now now`), the greedy scan ended the slot at the first
+//!    anchor occurrence and spuriously failed.
+//! 2. **Reconstruct roundtrip** — the extracted parameters, interleaved back
+//!    into the template skeleton, reproduce the (whitespace-normalized)
+//!    value; and the parameter count always equals `var_count`.
+//! 3. **Anchor-in-slot** — templates whose variable slot must swallow a
+//!    token equal to its following constant anchor still match, for
+//!    arbitrary prefixes, fillers and suffixes.
+//!
+//! The word alphabet is deliberately tiny so collisions between slot
+//! contents and constant anchors are common rather than rare.
+
+use mint_core::StringTemplate;
+use proptest::prelude::*;
+
+/// Small alphabet: repeated words maximize anchor/slot collisions.
+const WORDS: [&str; 6] = ["get", "set", "now", "run", "job", "end"];
+
+fn word() -> impl Strategy<Value = String> {
+    (0usize..WORDS.len()).prop_map(|i| WORDS[i].to_owned())
+}
+
+fn words(max: usize) -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec(word(), 0..max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Invariant 1: a template generalized to cover a second value matches
+    /// both its seed and that value.
+    #[test]
+    fn generalized_template_matches_both_values(
+        a in proptest::collection::vec(word(), 1..8),
+        b in proptest::collection::vec(word(), 1..8),
+    ) {
+        let mut template = StringTemplate::from_tokens(&a);
+        template.generalize(&b);
+        prop_assert!(
+            template.match_and_extract(&a).is_some(),
+            "template {:?} lost its seed {:?}",
+            template.masked(),
+            a
+        );
+        prop_assert!(
+            template.match_and_extract(&b).is_some(),
+            "template {:?} does not cover generalized-to value {:?}",
+            template.masked(),
+            b
+        );
+    }
+
+    /// Invariant 2: extracted parameters reconstruct the value exactly, and
+    /// there is one parameter per variable slot.
+    #[test]
+    fn matched_params_reconstruct_the_value(
+        a in proptest::collection::vec(word(), 1..8),
+        b in proptest::collection::vec(word(), 1..8),
+    ) {
+        let mut template = StringTemplate::from_tokens(&a);
+        template.generalize(&b);
+        for value in [&a, &b] {
+            let params = template
+                .match_and_extract(value)
+                .expect("generalized template must match");
+            prop_assert_eq!(params.len(), template.var_count());
+            prop_assert_eq!(template.reconstruct(&params), value.join(" "));
+        }
+    }
+
+    /// Invariant 3: a slot whose content ends with (or contains) its own
+    /// anchor still matches — the regression class behind the anchor bug.
+    #[test]
+    fn slot_containing_its_anchor_matches(
+        prefix in words(3),
+        anchor in word(),
+        filler in words(3),
+        suffix in words(3),
+    ) {
+        // Template `prefix <*> anchor suffix`: a digit-bearing token seeds
+        // the variable slot (raw-token pre-masking).
+        let mut template_tokens = prefix.clone();
+        template_tokens.push("7".to_owned());
+        template_tokens.push(anchor.clone());
+        template_tokens.extend(suffix.iter().cloned());
+        let template = StringTemplate::from_raw_tokens(&template_tokens);
+
+        // Value: the slot content is `filler ++ [anchor]` — the greedy scan
+        // would stop the slot at this embedded anchor and fail.
+        let mut value = prefix.clone();
+        value.extend(filler.iter().cloned());
+        value.push(anchor.clone());
+        value.push(anchor.clone());
+        value.extend(suffix.iter().cloned());
+
+        let params = template.match_and_extract(&value);
+        prop_assert!(
+            params.is_some(),
+            "template {:?} must match {:?}",
+            template.masked(),
+            value.join(" ")
+        );
+        let params = params.unwrap();
+        prop_assert_eq!(params.len(), template.var_count());
+        prop_assert_eq!(template.reconstruct(&params), value.join(" "));
+    }
+
+    /// A template seeded from raw tokens always matches its own seed, with
+    /// digit-bearing tokens recoverable as parameters.
+    #[test]
+    fn raw_seeded_template_matches_its_seed(
+        tokens in proptest::collection::vec(
+            prop_oneof![word(), (0u32..1000).prop_map(|n| n.to_string())],
+            1..10,
+        ),
+    ) {
+        let template = StringTemplate::from_raw_tokens(&tokens);
+        let params = template.match_and_extract(&tokens);
+        prop_assert!(params.is_some(), "seed {:?} must match itself", tokens);
+        prop_assert_eq!(
+            template.reconstruct(&params.unwrap()),
+            tokens.join(" ")
+        );
+    }
+}
+
+/// The headline regression, pinned outside the property loop: the exact
+/// values from the bug report must keep working.
+#[test]
+fn anchor_bug_regression_cases() {
+    let template = StringTemplate::from_raw_tokens(&["get", "7", "now"]);
+    assert_eq!(template.masked(), "get <*> now");
+    assert_eq!(
+        template.match_and_extract(&["get", "now", "now"]),
+        Some(vec!["now".to_owned()])
+    );
+    let template = StringTemplate::from_raw_tokens(&["run", "job", "3", "end"]);
+    assert_eq!(
+        template.match_and_extract(&["run", "job", "end", "end"]),
+        Some(vec!["end".to_owned()])
+    );
+}
