@@ -1,0 +1,275 @@
+//! Concurrent query-while-ingest load test: N reader threads hammer cloned
+//! [`mint::core::QueryHandle`]s against the live Fig. 14 stream while the
+//! streaming driver drains it.
+//!
+//! Three claims are measured, not assumed (per *CounterPoint*):
+//!
+//! 1. **Readers never perturb the stream's result** — the cost report of
+//!    every queried run is asserted identical to the no-queries baseline on
+//!    the same stream (publication is observation, not interference).
+//! 2. **Query latency stays flat as readers scale** — the steady-state read
+//!    path is one atomic version load against a thread-cached generation,
+//!    so p99 should not grow with the reader count.
+//! 3. **Ingest throughput stays near the baseline** — the writer pays one
+//!    `Arc`-structural clone per epoch while a handle is alive; the full
+//!    run asserts throughput within 10% of the no-queries baseline (the CI
+//!    smoke run, sharing one noisy core, only sanity-checks 2×).
+//!
+//! Readers are paced (a short sleep between query bursts) so the experiment
+//! measures snapshot-read latency rather than a saturated scheduler; every
+//! latency sample still covers the full `snapshot()` + `query()` path.
+//!
+//! Results are persisted as the `query_loadtest` section of
+//! `BENCH_query.json` (schema `mint-query-v1`, override with
+//! `MINT_QUERY_OUT`).
+//!
+//! ```bash
+//! MINT_SCALE=4 cargo run --release --bin exp_query_loadtest
+//! MINT_SMOKE=1 cargo run --release --bin exp_query_loadtest   # CI smoke
+//! ```
+
+use bench::ingest_json::JsonObj;
+use bench::{fmt_pct, print_table, query_json, ExpConfig};
+use mint::core::{MintConfig, SamplingMode, StreamingDeployment};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+use trace_model::{TraceId, TraceSet};
+use workload::{layered_application, load_test_plan, GeneratorConfig, StreamingSource};
+
+fn micros(duration: Duration) -> f64 {
+    duration.as_secs_f64() * 1e6
+}
+
+/// Nearest-rank percentile over an unsorted latency sample.
+fn percentile_us(latencies: &mut [Duration], pct: usize) -> f64 {
+    assert!(!latencies.is_empty());
+    latencies.sort();
+    micros(latencies[(latencies.len() * pct) / 100 - (pct == 100) as usize])
+}
+
+/// What one reader thread brings back: its latency samples, how many of its
+/// queries hit a published trace, and the last generation it observed.
+struct ReaderRun {
+    latencies: Vec<Duration>,
+    hits: u64,
+    final_generation: u64,
+}
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    let smoke = std::env::var("MINT_SMOKE").is_ok();
+    let app = layered_application("prod", 8, 6, 26);
+    let base = MintConfig::default()
+        .with_sampling_mode(SamplingMode::AbnormalTag)
+        .with_shard_count(4)
+        .with_epoch_trace_count(256);
+
+    // The same paced Fig. 14 stream as exp_streaming_loadtest Part 2, so the
+    // two BENCH documents describe one workload.
+    let plan = load_test_plan();
+    let plan = if smoke { &plan[..3] } else { &plan[..] };
+    let per_test =
+        |spec: &workload::LoadTestSpec| cfg.scaled((spec.total_requests() / 10) as usize);
+    let make_source = || {
+        StreamingSource::from_load_plan(
+            &app,
+            GeneratorConfig::default()
+                .with_seed(cfg.seed)
+                .with_abnormal_rate(0.02),
+            plan,
+            per_test,
+        )
+    };
+    let planned = make_source().planned();
+    // Materialize the identical stream once: it warms every deployment (so
+    // pattern libraries are stable) and supplies the reader threads' query
+    // targets — ids that progressively become answerable as epochs publish.
+    let batch: TraceSet = make_source().collect();
+    let stream_spans = batch.span_count();
+    let query_ids: Vec<TraceId> = batch.traces().iter().map(|t| t.trace_id()).collect();
+
+    // ── No-queries baseline: no handle alive, so publication (including the
+    //    per-epoch structural clone) is skipped entirely.  Run it twice: the
+    //    spread between two identical runs is the host's wall-clock noise
+    //    floor, so the throughput budget below compares against the slower
+    //    run — the assertion is about reader overhead, not scheduler jitter.
+    let mut baseline_report = None;
+    let mut baseline_runs = Vec::new();
+    for _ in 0..2 {
+        let mut baseline = StreamingDeployment::new(base.clone());
+        baseline.warm_up(&batch);
+        let start = Instant::now();
+        let report = baseline.process_stream(make_source());
+        baseline_runs.push(start.elapsed());
+        match &baseline_report {
+            None => baseline_report = Some(report),
+            Some(first) => assert_eq!(first, &report, "baseline runs diverged"),
+        }
+    }
+    let baseline_report = baseline_report.expect("two baseline runs");
+    let baseline_elapsed = *baseline_runs.iter().max().expect("two baseline runs");
+    let baseline_tps = planned as f64
+        / baseline_runs
+            .iter()
+            .map(|e| e.as_secs_f64())
+            .sum::<f64>()
+            .max(1e-9)
+        * baseline_runs.len() as f64;
+
+    let thread_counts: &[usize] = if smoke { &[1, 4] } else { &[1, 2, 4, 8] };
+    let mut rows = Vec::new();
+    let mut threads_obj = JsonObj::new(2);
+    for &readers in thread_counts {
+        let mut streaming = StreamingDeployment::new(base.clone());
+        streaming.warm_up(&batch);
+        let handle = streaming.query_handle();
+        let done = AtomicBool::new(false);
+
+        let (report, elapsed, runs) = std::thread::scope(|scope| {
+            let mut joins = Vec::new();
+            for reader_index in 0..readers {
+                let reader = handle.clone();
+                let ids = &query_ids;
+                let done = &done;
+                joins.push(scope.spawn(move || {
+                    let mut latencies = Vec::new();
+                    let mut hits = 0u64;
+                    // Stagger the walk so readers don't query in lockstep.
+                    let mut cursor = reader_index * 17;
+                    loop {
+                        // Load the flag BEFORE the burst: once the stream is
+                        // drained this guarantees one final burst against the
+                        // last published generation before returning.
+                        let finished = done.load(Ordering::Acquire);
+                        for _ in 0..4 {
+                            let id = ids[cursor % ids.len()];
+                            cursor += 31;
+                            let start = Instant::now();
+                            let result = reader.query(id);
+                            latencies.push(start.elapsed());
+                            hits += u64::from(!result.is_miss());
+                        }
+                        if finished {
+                            return ReaderRun {
+                                latencies,
+                                hits,
+                                final_generation: reader.generation(),
+                            };
+                        }
+                        // Pace: measure read latency, not a saturated core
+                        // (a sub-1% duty cycle per reader keeps 8 readers
+                        // from starving the ingest threads on small hosts).
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                }));
+            }
+            let start = Instant::now();
+            let report = streaming.process_stream(make_source());
+            let elapsed = start.elapsed();
+            done.store(true, Ordering::Release);
+            let runs: Vec<ReaderRun> = joins
+                .into_iter()
+                .map(|join| join.join().expect("query reader panicked"))
+                .collect();
+            (report, elapsed, runs)
+        });
+
+        // Claim 1: concurrent readers are pure observers.
+        assert_eq!(
+            report, baseline_report,
+            "{readers} reader(s): queried run's report diverged from the no-queries baseline"
+        );
+        // Claim 3: ingest throughput near the baseline.
+        let tps = planned as f64 / elapsed.as_secs_f64().max(1e-9);
+        let slowdown_budget = if smoke { 2.0 } else { 1.10 };
+        assert!(
+            elapsed.as_secs_f64() <= baseline_elapsed.as_secs_f64() * slowdown_budget,
+            "{readers} reader(s): ingest took {:.3} s vs {:.3} s baseline (budget {slowdown_budget}x)",
+            elapsed.as_secs_f64(),
+            baseline_elapsed.as_secs_f64()
+        );
+
+        let mut latencies: Vec<Duration> = runs
+            .iter()
+            .flat_map(|r| r.latencies.iter().copied())
+            .collect();
+        let queries = latencies.len() as u64;
+        let hits: u64 = runs.iter().map(|r| r.hits).sum();
+        let p50_us = percentile_us(&mut latencies, 50);
+        let p99_us = percentile_us(&mut latencies, 99);
+        // Freshness: with the look-ahead stream loop every run reconciles the
+        // same number of epochs, and each reader's post-drain burst must land
+        // on that final generation (the subscribe itself published gen 1).
+        let final_generation = runs
+            .iter()
+            .map(|r| r.final_generation)
+            .min()
+            .expect("at least one reader");
+        assert!(
+            runs.iter().all(|r| r.final_generation == final_generation),
+            "readers disagreed on the final generation"
+        );
+
+        let mut row = JsonObj::new(3);
+        row.field_u64("queries", queries)
+            .field_f64("query_p50_us", p50_us)
+            .field_f64("query_p99_us", p99_us)
+            .field_f64("hit_rate", hits as f64 / queries.max(1) as f64)
+            .field_u64("final_generation", final_generation)
+            .field_f64("ingest_traces_per_s", tps)
+            .field_f64("ingest_vs_baseline", tps / baseline_tps.max(1e-9));
+        threads_obj.field_raw(&readers.to_string(), &row.finish());
+        rows.push(vec![
+            format!("{readers}"),
+            format!("{queries}"),
+            format!("{:.1}", p50_us),
+            format!("{:.1}", p99_us),
+            fmt_pct(hits as f64 / queries.max(1) as f64),
+            format!("{final_generation}"),
+            format!("{tps:.0}"),
+            format!("{:.2}x", tps / baseline_tps.max(1e-9)),
+        ]);
+    }
+
+    print_table(
+        &format!(
+            "Concurrent queries against the live Fig. 14 stream \
+             ({planned} traces, epoch 256, 4 shards; every queried run's report \
+             asserted identical to the no-queries baseline at {baseline_tps:.0} traces/s)"
+        ),
+        &[
+            "readers",
+            "queries",
+            "query p50 (us)",
+            "query p99 (us)",
+            "hit rate",
+            "final gen",
+            "ingest (traces/s)",
+            "vs baseline",
+        ],
+        &rows,
+    );
+
+    // Persist the trajectory as the `query_loadtest` section of
+    // BENCH_query.json.
+    let mut baseline_obj = JsonObj::new(2);
+    baseline_obj
+        .field_f64("ingest_traces_per_s", baseline_tps)
+        .field_f64("elapsed_ms", baseline_elapsed.as_secs_f64() * 1e3);
+    let mut section = JsonObj::new(1);
+    section
+        .field_u64("planned_traces", planned as u64)
+        .field_u64("spans", stream_spans as u64)
+        .field_u64("load_tests", plan.len() as u64)
+        .field_raw("baseline", &baseline_obj.finish())
+        .field_raw("threads", &threads_obj.finish());
+    let path = query_json::persist_section(&cfg, smoke, "query_loadtest", &section.finish());
+    println!("wrote {path}");
+
+    println!(
+        "\nShape to check: query p99 stays flat as readers scale 1→8 (each reader's \
+         steady-state path is one atomic load against its own cached generation), \
+         ingest throughput stays within 10% of the no-queries baseline, and every \
+         queried run's cost report is byte-identical to the baseline's."
+    );
+}

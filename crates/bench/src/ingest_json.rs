@@ -31,16 +31,104 @@ use crate::ExpConfig;
 /// Schema identifier stamped into the document header.
 pub const SCHEMA: &str = "mint-ingest-v1";
 
-/// Well-known sections, in the order they are rendered; unknown sections are
-/// preserved after these in their original order.
-const SECTION_ORDER: [&str; 3] = ["profile", "sharded_loadtest", "streaming_loadtest"];
-
 /// Header fields rewritten by whichever binary persisted last.
 const HEADER_KEYS: [&str; 4] = ["schema", "scale", "seed", "smoke"];
 
+/// Describes one section-merged benchmark document: its schema string, the
+/// canonical ordering of its well-known sections, and where it lives on disk.
+///
+/// The section-merging writer below is shared by every `BENCH_*.json`
+/// trajectory document; a new document only needs a new `DocSpec` const
+/// (see [`INGEST_DOC`] here and `QUERY_DOC` in [`crate::query_json`]).
+pub struct DocSpec {
+    /// Schema identifier stamped into the document header.
+    pub schema: &'static str,
+    /// Well-known sections, in the order they are rendered; unknown sections
+    /// are preserved after these in their original order.
+    pub section_order: &'static [&'static str],
+    /// Environment variable overriding the output path.
+    pub env_var: &'static str,
+    /// Output path used when the environment variable is unset.
+    pub default_path: &'static str,
+}
+
+/// The `BENCH_ingest.json` document (schema `mint-ingest-v1`).
+pub const INGEST_DOC: DocSpec = DocSpec {
+    schema: SCHEMA,
+    section_order: &["profile", "sharded_loadtest", "streaming_loadtest"],
+    env_var: "MINT_INGEST_OUT",
+    default_path: "BENCH_ingest.json",
+};
+
+impl DocSpec {
+    /// Resolves the output path (`self.env_var`, default `self.default_path`).
+    pub fn out_path(&self) -> String {
+        std::env::var(self.env_var).unwrap_or_else(|_| self.default_path.to_owned())
+    }
+
+    /// Merges `body` in as the `section` top-level key of `existing` (or of a
+    /// fresh document), rewriting the header fields and preserving every
+    /// other section untouched.
+    pub fn merge_section(
+        &self,
+        existing: Option<&str>,
+        cfg: &ExpConfig,
+        smoke: bool,
+        section: &str,
+        body: &str,
+    ) -> String {
+        let mut sections: Vec<(String, String)> = existing
+            .and_then(split_top_level)
+            .unwrap_or_default()
+            .into_iter()
+            .filter(|(key, _)| !HEADER_KEYS.contains(&key.as_str()))
+            .collect();
+        match sections.iter_mut().find(|(key, _)| key == section) {
+            Some(slot) => slot.1 = body.to_owned(),
+            None => sections.push((section.to_owned(), body.to_owned())),
+        }
+        // Stable sort: well-known sections in canonical order, the rest keep
+        // their original relative order after them.
+        sections.sort_by_key(|(key, _)| {
+            self.section_order
+                .iter()
+                .position(|known| known == key)
+                .unwrap_or(self.section_order.len())
+        });
+
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"schema\": \"{}\",\n", self.schema));
+        out.push_str(&format!("  \"scale\": {},\n", cfg.scale));
+        out.push_str(&format!("  \"seed\": {},\n", cfg.seed));
+        out.push_str(&format!("  \"smoke\": {smoke}"));
+        for (key, value) in &sections {
+            out.push_str(",\n");
+            out.push_str(&format!("  \"{}\": {}", json_escape(key), value));
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Reads the current document (if any), merges `body` in as `section`,
+    /// and writes the result back.  Returns the path written.
+    pub fn persist_section(
+        &self,
+        cfg: &ExpConfig,
+        smoke: bool,
+        section: &str,
+        body: &str,
+    ) -> String {
+        let path = self.out_path();
+        let existing = std::fs::read_to_string(&path).ok();
+        let doc = self.merge_section(existing.as_deref(), cfg, smoke, section, body);
+        std::fs::write(&path, &doc).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        path
+    }
+}
+
 /// Resolves the output path (`MINT_INGEST_OUT`, default `BENCH_ingest.json`).
 pub fn out_path() -> String {
-    std::env::var("MINT_INGEST_OUT").unwrap_or_else(|_| "BENCH_ingest.json".to_owned())
+    INGEST_DOC.out_path()
 }
 
 /// Escapes a string for embedding in a JSON document.
@@ -87,9 +175,20 @@ impl JsonObj {
         self.field_raw(key, &value.to_string())
     }
 
-    /// Adds a float field rendered with one decimal place.
+    /// Adds a float field.
+    ///
+    /// Finite values use Rust's shortest round-trip `Display` formatting,
+    /// so the exact value is recoverable by any JSON parser (the previous
+    /// `{:.1}` rendering silently truncated ns/span measurements to one
+    /// decimal place).  Non-finite values (NaN, ±inf) have no JSON number
+    /// representation and are written as `null` instead of emitting the
+    /// invalid literals `NaN`/`inf`.
     pub fn field_f64(&mut self, key: &str, value: f64) -> &mut Self {
-        self.field_raw(key, &format!("{value:.1}"))
+        if value.is_finite() {
+            self.field_raw(key, &format!("{value}"))
+        } else {
+            self.field_raw(key, "null")
+        }
     }
 
     /// Adds a boolean field.
@@ -236,7 +335,7 @@ fn split_top_level(doc: &str) -> Option<Vec<(String, String)>> {
 
 /// Merges `body` in as the `section` top-level key of `existing` (or of a
 /// fresh document), rewriting the header fields and preserving every other
-/// section untouched.
+/// section untouched.  Delegates to [`INGEST_DOC`].
 pub fn merge_section(
     existing: Option<&str>,
     cfg: &ExpConfig,
@@ -244,46 +343,14 @@ pub fn merge_section(
     section: &str,
     body: &str,
 ) -> String {
-    let mut sections: Vec<(String, String)> = existing
-        .and_then(split_top_level)
-        .unwrap_or_default()
-        .into_iter()
-        .filter(|(key, _)| !HEADER_KEYS.contains(&key.as_str()))
-        .collect();
-    match sections.iter_mut().find(|(key, _)| key == section) {
-        Some(slot) => slot.1 = body.to_owned(),
-        None => sections.push((section.to_owned(), body.to_owned())),
-    }
-    // Stable sort: well-known sections in canonical order, the rest keep
-    // their original relative order after them.
-    sections.sort_by_key(|(key, _)| {
-        SECTION_ORDER
-            .iter()
-            .position(|known| known == key)
-            .unwrap_or(SECTION_ORDER.len())
-    });
-
-    let mut out = String::from("{\n");
-    out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
-    out.push_str(&format!("  \"scale\": {},\n", cfg.scale));
-    out.push_str(&format!("  \"seed\": {},\n", cfg.seed));
-    out.push_str(&format!("  \"smoke\": {smoke}"));
-    for (key, value) in &sections {
-        out.push_str(",\n");
-        out.push_str(&format!("  \"{}\": {}", json_escape(key), value));
-    }
-    out.push_str("\n}\n");
-    out
+    INGEST_DOC.merge_section(existing, cfg, smoke, section, body)
 }
 
 /// Reads the current document (if any), merges `body` in as `section`, and
-/// writes the result back.  Returns the path written.
+/// writes the result back.  Returns the path written.  Delegates to
+/// [`INGEST_DOC`].
 pub fn persist_section(cfg: &ExpConfig, smoke: bool, section: &str, body: &str) -> String {
-    let path = out_path();
-    let existing = std::fs::read_to_string(&path).ok();
-    let doc = merge_section(existing.as_deref(), cfg, smoke, section, body);
-    std::fs::write(&path, &doc).unwrap_or_else(|e| panic!("write {path}: {e}"));
-    path
+    INGEST_DOC.persist_section(cfg, smoke, section, body)
 }
 
 #[cfg(test)]
@@ -366,13 +433,61 @@ mod tests {
             .field_raw("numbers", &inner.finish());
         let rendered = outer.finish();
         assert!(rendered.contains("\"name\": \"tokenize\""));
-        assert!(rendered.contains("\"before_ns_per_span\": 120.2"));
+        assert!(rendered.contains("\"before_ns_per_span\": 120.25"));
         // Round-trips through the scanner.
         let doc = merge_section(None, &cfg(), false, "profile", &rendered);
         let pairs = split_top_level(&doc).unwrap();
         assert!(pairs
             .iter()
             .any(|(k, v)| k == "profile" && v.contains("tokenize")));
+    }
+
+    #[test]
+    fn floats_render_at_full_precision() {
+        // Shortest round-trip formatting: no decimal truncation, and parsing
+        // the rendered literal recovers the exact value.
+        for value in [120.25, 0.1, 1234.56789, 1e-9, 3.0e17, -7.125] {
+            let mut obj = JsonObj::new(0);
+            obj.field_f64("v", value);
+            let rendered = obj.finish();
+            let literal = rendered
+                .split("\"v\": ")
+                .nth(1)
+                .unwrap()
+                .trim_end_matches(['\n', '}', ' ']);
+            assert_eq!(literal.parse::<f64>().unwrap(), value, "from {rendered}");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_render_as_null() {
+        let mut obj = JsonObj::new(0);
+        obj.field_f64("nan", f64::NAN)
+            .field_f64("pos_inf", f64::INFINITY)
+            .field_f64("neg_inf", f64::NEG_INFINITY);
+        let rendered = obj.finish();
+        assert!(rendered.contains("\"nan\": null"));
+        assert!(rendered.contains("\"pos_inf\": null"));
+        assert!(rendered.contains("\"neg_inf\": null"));
+        assert!(!rendered.contains("NaN"));
+        assert!(!rendered.contains("inf,"));
+    }
+
+    #[test]
+    fn doc_specs_are_independent() {
+        let spec = DocSpec {
+            schema: "mint-other-v1",
+            section_order: &["beta", "alpha"],
+            env_var: "MINT_OTHER_OUT",
+            default_path: "BENCH_other.json",
+        };
+        let first = spec.merge_section(None, &cfg(), false, "alpha", "{\"a\": 1}");
+        assert!(first.contains("\"schema\": \"mint-other-v1\""));
+        let second = spec.merge_section(Some(&first), &cfg(), false, "beta", "{\"b\": 2}");
+        // Canonical ordering comes from the spec, not from write order.
+        let beta_at = second.find("\"beta\"").unwrap();
+        let alpha_at = second.find("\"alpha\"").unwrap();
+        assert!(beta_at < alpha_at);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod ingest_json;
+pub mod query_json;
 
 use baselines::{Hindsight, MintFramework, OtFull, OtHead, OtTail, Sieve, TracingFramework};
 use mint_core::{MintConfig, SamplingMode};

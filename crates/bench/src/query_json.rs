@@ -1,0 +1,67 @@
+//! Persistence for `BENCH_query.json` (schema `mint-query-v1`).
+//!
+//! The concurrent-query loadtest (`exp_query_loadtest`) records query latency
+//! percentiles and ingest throughput for a live stream queried from N threads
+//! through cloned [`mint_core::QueryHandle`]s.  The document reuses the
+//! section-merging writer from [`crate::ingest_json`] (see
+//! [`crate::ingest_json::DocSpec`]) so the trajectory survives partial
+//! rewrites exactly like `BENCH_ingest.json` does.
+//!
+//! Document shape:
+//!
+//! ```json
+//! {
+//!   "schema": "mint-query-v1",
+//!   "scale": 1,
+//!   "seed": 42405,
+//!   "smoke": false,
+//!   "query_loadtest": { ... }
+//! }
+//! ```
+//!
+//! The output path defaults to `BENCH_query.json` in the working directory
+//! and can be overridden with `MINT_QUERY_OUT`.
+
+use crate::ingest_json::DocSpec;
+use crate::ExpConfig;
+
+/// Schema identifier stamped into the document header.
+pub const SCHEMA: &str = "mint-query-v1";
+
+/// The `BENCH_query.json` document (schema `mint-query-v1`).
+pub const QUERY_DOC: DocSpec = DocSpec {
+    schema: SCHEMA,
+    section_order: &["query_loadtest"],
+    env_var: "MINT_QUERY_OUT",
+    default_path: "BENCH_query.json",
+};
+
+/// Resolves the output path (`MINT_QUERY_OUT`, default `BENCH_query.json`).
+pub fn out_path() -> String {
+    QUERY_DOC.out_path()
+}
+
+/// Reads the current document (if any), merges `body` in as `section`, and
+/// writes the result back.  Returns the path written.  Delegates to
+/// [`QUERY_DOC`].
+pub fn persist_section(cfg: &ExpConfig, smoke: bool, section: &str, body: &str) -> String {
+    QUERY_DOC.persist_section(cfg, smoke, section, body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_doc_has_its_own_schema_and_path() {
+        let cfg = ExpConfig {
+            scale: 1.0,
+            seed: 3,
+        };
+        let doc = QUERY_DOC.merge_section(None, &cfg, true, "query_loadtest", "{\"q\": 1}");
+        assert!(doc.contains("\"schema\": \"mint-query-v1\""));
+        assert!(doc.contains("\"query_loadtest\": {\"q\": 1}"));
+        assert_eq!(QUERY_DOC.default_path, "BENCH_query.json");
+        assert_eq!(QUERY_DOC.env_var, "MINT_QUERY_OUT");
+    }
+}

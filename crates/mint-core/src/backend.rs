@@ -8,6 +8,7 @@ use crate::trace_parser::TopoPattern;
 use mint_bloom::BloomFilter;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
 use trace_model::{PatternId, SpanView, Trace, TraceId, TraceView, WireSize};
 
 /// One span of an approximate trace: the pattern skeleton with variables
@@ -104,17 +105,25 @@ impl QueryResult {
 }
 
 /// The Mint backend and querier.
+///
+/// Every heavy segment (catalogs, topology patterns, Bloom filters,
+/// parameter blocks) is held behind an [`Arc`], so cloning the backend for
+/// snapshot publication copies pointers, not bytes: a published generation
+/// structurally shares all segments with the live backend, and the merger's
+/// replace-don't-mutate discipline (catalogs and partial blooms are
+/// *replaced* per epoch, sealed blooms and param blocks are append-only)
+/// guarantees shared segments are never written after publication.
 #[derive(Debug, Clone, Default)]
 pub struct MintBackend {
-    catalogs: HashMap<String, PatternCatalog>,
-    topo_patterns: HashMap<String, Vec<TopoPattern>>,
-    blooms: HashMap<(String, PatternId), Vec<BloomFilter>>,
+    catalogs: HashMap<String, Arc<PatternCatalog>>,
+    topo_patterns: HashMap<String, Arc<Vec<TopoPattern>>>,
+    blooms: HashMap<(String, PatternId), Vec<Arc<BloomFilter>>>,
     /// Still-filling Bloom filters published by an incremental merge, one
     /// slot per ingest shard.  Each epoch replaces a shard's slot with the
     /// filter's latest state (bits are only ever added between flushes), so
     /// re-publication stays O(active patterns) instead of O(epochs).
-    partial_blooms: HashMap<(String, PatternId), BTreeMap<usize, BloomFilter>>,
-    params: HashMap<TraceId, Vec<(String, TraceParams)>>,
+    partial_blooms: HashMap<(String, PatternId), BTreeMap<usize, Arc<BloomFilter>>>,
+    params: HashMap<TraceId, Vec<Arc<(String, TraceParams)>>>,
     /// Append-only order log of parameter uploads: `(trace id, index into
     /// the trace's block list)`.  Lets an incremental merge consume only the
     /// blocks stored since its last watermark, in upload order (the node is
@@ -132,25 +141,40 @@ impl MintBackend {
     }
 
     /// Stores (replaces) the latest pattern catalog uploaded by `node`.
-    pub fn store_catalog(&mut self, node: impl Into<String>, catalog: PatternCatalog) {
-        self.catalogs.insert(node.into(), catalog);
+    pub fn store_catalog(
+        &mut self,
+        node: impl Into<String>,
+        catalog: impl Into<Arc<PatternCatalog>>,
+    ) {
+        self.catalogs.insert(node.into(), catalog.into());
     }
 
     /// Stores (replaces) the topology patterns uploaded by `node`, indexed by
     /// pattern id (`PatternId(i + 1)` is element `i`).
-    pub fn store_topo_patterns(&mut self, node: impl Into<String>, patterns: Vec<TopoPattern>) {
-        self.topo_patterns.insert(node.into(), patterns);
+    pub fn store_topo_patterns(
+        &mut self,
+        node: impl Into<String>,
+        patterns: impl Into<Arc<Vec<TopoPattern>>>,
+    ) {
+        self.topo_patterns.insert(node.into(), patterns.into());
     }
 
     /// Stores a flushed Bloom filter for `(node, topology pattern)` so the
     /// querier can probe it.  Storage bytes for metadata mounting are charged
     /// separately (per mounted trace id) through
-    /// [`MintBackend::charge_bloom_bytes`].
-    pub fn store_bloom(&mut self, node: impl Into<String>, topo_id: PatternId, bloom: BloomFilter) {
+    /// [`MintBackend::charge_bloom_bytes`].  Accepts an already-shared
+    /// `Arc<BloomFilter>` so the incremental merge can alias a shard's sealed
+    /// filter instead of copying its bit array.
+    pub fn store_bloom(
+        &mut self,
+        node: impl Into<String>,
+        topo_id: PatternId,
+        bloom: impl Into<Arc<BloomFilter>>,
+    ) {
         self.blooms
             .entry((node.into(), topo_id))
             .or_default()
-            .push(bloom);
+            .push(bloom.into());
     }
 
     /// Adds to the metadata-mounting storage bill.
@@ -163,7 +187,7 @@ impl MintBackend {
         self.params_bytes += params.wire_size() as u64;
         let blocks = self.params.entry(params.trace_id).or_default();
         self.params_log.push((params.trace_id, blocks.len()));
-        blocks.push((node.into(), params));
+        blocks.push(Arc::new((node.into(), params)));
     }
 
     /// Stores (replaces) the still-partial Bloom filter of ingest shard
@@ -175,12 +199,12 @@ impl MintBackend {
         node: String,
         topo_id: PatternId,
         slot: usize,
-        bloom: BloomFilter,
+        bloom: impl Into<Arc<BloomFilter>>,
     ) {
         self.partial_blooms
             .entry((node, topo_id))
             .or_default()
-            .insert(slot, bloom);
+            .insert(slot, bloom.into());
     }
 
     /// Overwrites the metadata-mounting storage bill with a partition-
@@ -204,12 +228,33 @@ impl MintBackend {
         self.params
             .get(&trace_id)
             .and_then(|blocks| blocks.get(index))
+            .map(|block| &**block)
     }
 
     /// The stored Bloom filters, keyed by `(node, topology pattern id)`.
     /// Used by the sharded merge step to re-key shard-local pattern ids.
-    pub(crate) fn blooms(&self) -> &HashMap<(String, PatternId), Vec<BloomFilter>> {
+    pub(crate) fn blooms(&self) -> &HashMap<(String, PatternId), Vec<Arc<BloomFilter>>> {
         &self.blooms
+    }
+
+    /// A structurally-shared clone for snapshot publication.
+    ///
+    /// Every heavy segment is an `Arc` pointer copy, and the merger-only
+    /// `params_log` bookkeeping is left empty: queries never read the log,
+    /// and dropping it keeps a published generation's footprint proportional
+    /// to live queryable state rather than to the total number of parameter
+    /// uploads ever made.
+    pub(crate) fn queryable_clone(&self) -> MintBackend {
+        MintBackend {
+            catalogs: self.catalogs.clone(),
+            topo_patterns: self.topo_patterns.clone(),
+            blooms: self.blooms.clone(),
+            partial_blooms: self.partial_blooms.clone(),
+            params: self.params.clone(),
+            params_log: Vec::new(),
+            bloom_bytes: self.bloom_bytes,
+            params_bytes: self.params_bytes,
+        }
     }
 
     /// Number of traces with fully retained parameters.
@@ -252,7 +297,8 @@ impl MintBackend {
     pub fn query(&self, trace_id: TraceId) -> QueryResult {
         if let Some(blocks) = self.params.get(&trace_id) {
             let mut spans = Vec::new();
-            for (node, block) in blocks {
+            for entry in blocks {
+                let (node, block) = &**entry;
                 if let Some(catalog) = self.catalogs.get(node) {
                     for span_params in &block.spans {
                         if let Some(span) = catalog.reconstruct_span(trace_id, span_params) {

@@ -221,7 +221,8 @@ impl MintDeployment {
     /// Processes a batch of traces end to end and returns the cumulative
     /// report.  May be called repeatedly; counters accumulate.
     pub fn process(&mut self, traces: &TraceSet) -> DeploymentReport {
-        if !self.warmed_up {
+        // An empty batch must not lock in an empty warm-up sample.
+        if !self.warmed_up && !traces.is_empty() {
             self.warm_up(traces);
         }
 
@@ -232,6 +233,14 @@ impl MintDeployment {
                 max_end = max_end.max(span.end_time_us());
             }
             self.ingest_trace(trace);
+        }
+
+        // A zero-trace batch has no simulated duration and uploads nothing:
+        // skip the duration and periodic-upload accounting instead of
+        // clamping the empty `(u64::MAX, 0)` span window to a phantom 1 s
+        // batch that re-charges a full pattern-library upload.
+        if traces.is_empty() {
+            return self.report();
         }
 
         let batch_duration_s = batch_duration_s(min_start, max_end);
@@ -548,6 +557,30 @@ mod tests {
             report.topo_patterns
         );
         assert!(report.duration_s >= 1);
+    }
+
+    #[test]
+    fn empty_batch_charges_no_duration_or_network() {
+        // Regression: an empty batch used to clamp the empty span window to
+        // a 1 s batch and re-charge a full per-batch pattern upload.
+        let traces = workload(60, 0.05);
+        let mut mint = MintDeployment::new(MintConfig::default());
+        let before = mint.process(&traces);
+        let after = mint.process(&TraceSet::default());
+        assert_eq!(after, before, "empty batch changed the report");
+    }
+
+    #[test]
+    fn empty_batch_does_not_lock_in_an_empty_warm_up() {
+        let traces = workload(60, 0.05);
+        let mut mint = MintDeployment::new(MintConfig::default());
+        assert_eq!(mint.process(&TraceSet::default()).traces, 0);
+        // The later real batch must warm up normally and stay queryable.
+        let report = mint.process(&traces);
+        assert_eq!(report.traces, 60);
+        for trace in &traces {
+            assert!(!mint.backend().query(trace.trace_id()).is_miss());
+        }
     }
 
     #[test]

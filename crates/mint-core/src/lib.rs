@@ -59,6 +59,7 @@ mod merge;
 mod params;
 mod samplers;
 mod sharded;
+mod snapshot;
 pub mod span_parser;
 mod streaming;
 mod trace_parser;
@@ -75,6 +76,7 @@ pub use merge::MergeStats;
 pub use params::{ParamValue, ParamsBuffer, SpanParams, TraceParams};
 pub use samplers::{EdgeCaseSampler, HeadSampler, SamplerDecision, SymptomSampler};
 pub use sharded::{shard_of, ShardedDeployment};
+pub use snapshot::{BackendSnapshot, QueryHandle};
 pub use span_parser::{
     AttrPattern, NumericBucketer, PatternCatalog, SpanParser, SpanPattern, SpanPatternLibrary,
     StringTemplate,

@@ -50,6 +50,7 @@
 use crate::backend::MintBackend;
 use crate::collector::{MintCollector, MintDeployment};
 use crate::config::MintConfig;
+use crate::snapshot::{QueryHandle, SnapshotPublisher};
 use crate::span_parser::{
     AttrPattern, DurationStats, NumericBucketer, PatternCatalog, SpanPatternLibrary, StringTemplate,
 };
@@ -171,6 +172,10 @@ pub(crate) struct IncrementalMerger {
     span_patterns: u64,
     topo_patterns: u64,
     full_rebuilds: u64,
+    /// Snapshot publication for concurrent readers: every reconcile that
+    /// completes while a [`QueryHandle`] is alive publishes the merged
+    /// backend as a fresh immutable generation.
+    publisher: SnapshotPublisher,
 }
 
 impl IncrementalMerger {
@@ -202,6 +207,14 @@ impl IncrementalMerger {
     /// How many times template drift forced a from-scratch rebuild.
     pub(crate) fn full_rebuilds(&self) -> u64 {
         self.full_rebuilds
+    }
+
+    /// Publishes the current merged backend as a fresh generation and
+    /// returns a cheap cloneable handle for concurrent queries.  Once a
+    /// handle is alive, every subsequent [`IncrementalMerger::reconcile`]
+    /// republishes at its epoch boundary.
+    pub(crate) fn query_handle(&mut self) -> QueryHandle {
+        self.publisher.subscribe(&self.backend)
     }
 
     /// Reconciles the cumulative shard states into the merged
@@ -448,6 +461,11 @@ impl IncrementalMerger {
         }
         self.collector = collector;
         self.backend.set_bloom_bytes(bloom_storage);
+
+        // 7. Publish the reconciled state as a fresh immutable generation
+        //    for concurrent readers (skipped — including the structural
+        //    clone — while no QueryHandle is alive).
+        self.publisher.publish_if_subscribed(&self.backend);
 
         stats
     }

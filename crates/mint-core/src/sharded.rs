@@ -51,7 +51,9 @@
 use crate::collector::{batch_duration_s, DeploymentReport, MintCollector, MintDeployment};
 use crate::config::MintConfig;
 use crate::merge::{IncrementalMerger, MergeStats};
+use crate::snapshot::QueryHandle;
 use crate::MintBackend;
+use std::any::Any;
 use std::time::{Duration, Instant};
 use trace_model::{TraceId, TraceSet};
 
@@ -70,6 +72,36 @@ pub fn shard_of(trace_id: TraceId, shards: usize) -> usize {
     h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
     h ^= h >> 33;
     (h % shards as u64) as usize
+}
+
+/// Extracts the human-readable message from a worker thread's panic payload
+/// (the `Err` of a `JoinHandle::join`).  `panic!` with a literal carries a
+/// `&'static str`; `panic!` with formatting carries a `String`; anything
+/// else (a custom `panic_any` payload) gets a placeholder.
+pub(crate) fn worker_panic_message(payload: &(dyn Any + Send)) -> &str {
+    if let Some(message) = payload.downcast_ref::<&'static str>() {
+        message
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message
+    } else {
+        "<non-string panic payload>"
+    }
+}
+
+/// Test-only fail point shared by the sharded and streaming drivers: a
+/// trace whose root span carries a `mint_test_panic` attribute makes the
+/// ingesting worker panic with the attribute's value.  Keying the fault off
+/// the trace itself (rather than global state) keeps parallel tests
+/// race-free.
+#[cfg(test)]
+pub(crate) fn trigger_test_panic(trace: &trace_model::Trace) {
+    if let Some(message) = trace
+        .root()
+        .and_then(|root| root.attributes().get("mint_test_panic"))
+        .and_then(|value| value.as_str())
+    {
+        panic!("{}", message.to_owned());
+    }
 }
 
 /// A sharded Mint deployment: N worker shards, each a complete
@@ -117,6 +149,15 @@ impl ShardedDeployment {
     /// [`ShardedDeployment::process`] call.
     pub fn backend(&self) -> &MintBackend {
         self.merger.backend()
+    }
+
+    /// A cheap cloneable handle for querying the latest published snapshot
+    /// generation from any thread, concurrently with
+    /// [`ShardedDeployment::process`] calls on this thread.  Creating the
+    /// handle publishes the current merged state; every subsequent batch
+    /// reconcile republishes (see [`QueryHandle`]).
+    pub fn query_handle(&mut self) -> QueryHandle {
+        self.merger.query_handle()
     }
 
     /// The merged collector (for network accounting).
@@ -177,7 +218,8 @@ impl ShardedDeployment {
     /// exactly like the serial driver's.
     pub fn process(&mut self, traces: &TraceSet) -> DeploymentReport {
         let shard_count = self.shard_count();
-        if !self.warmed_up {
+        // An empty batch must not lock in an empty warm-up sample.
+        if !self.warmed_up && !traces.is_empty() {
             self.warm_up(traces);
         }
 
@@ -206,22 +248,38 @@ impl ShardedDeployment {
             for (shard, indices) in self.shards.iter_mut().zip(&partitions) {
                 handles.push(scope.spawn(move || {
                     for &index in indices {
+                        #[cfg(test)]
+                        trigger_test_panic(&batch[index]);
                         shard.ingest_trace(&batch[index]);
                     }
                 }));
             }
+            // Join every worker before reporting a failure, so a panic
+            // message is never lost to an earlier worker's still-running
+            // thread, and resurface the actual payload(s) instead of an
+            // opaque "shard worker panicked".
+            let mut failures = Vec::new();
             for handle in handles {
-                handle.join().expect("shard worker panicked");
+                if let Err(payload) = handle.join() {
+                    failures.push(worker_panic_message(payload.as_ref()).to_owned());
+                }
+            }
+            if !failures.is_empty() {
+                panic!("shard worker panicked: {}", failures.join("; "));
             }
         });
         self.last_ingest_time = ingest_start.elapsed();
 
-        let batch_duration = batch_duration_s(min_start, max_end);
-        self.duration_s += batch_duration;
-
+        // Zero-trace batches have no simulated duration and upload nothing:
+        // skip the duration/network accounting instead of clamping the empty
+        // `(u64::MAX, 0)` span window to a phantom 1 s batch.
         let merge_start = Instant::now();
         self.last_merge_stats = self.merger.reconcile(&self.shards);
-        self.merger.charge_batch(&self.config, batch_duration);
+        if !traces.is_empty() {
+            let batch_duration = batch_duration_s(min_start, max_end);
+            self.duration_s += batch_duration;
+            self.merger.charge_batch(&self.config, batch_duration);
+        }
         self.last_merge_time = merge_start.elapsed();
         self.report()
     }
@@ -315,6 +373,77 @@ mod tests {
         assert_eq!(report.sampled_traces, 200);
         for trace in traces.iter().take(20) {
             assert!(sharded.backend().query(trace.trace_id()).is_exact());
+        }
+    }
+
+    #[test]
+    fn worker_panic_message_reaches_the_coordinator() {
+        use trace_model::AttrValue;
+        let mut traces: Vec<trace_model::Trace> = workload(40).iter().cloned().collect();
+        for span in traces[23].spans_mut() {
+            span.attributes_mut()
+                .insert("mint_test_panic", AttrValue::str("injected sharded fault"));
+        }
+        let traces: TraceSet = traces.into_iter().collect();
+        let result = std::panic::catch_unwind(move || {
+            let mut sharded = ShardedDeployment::new(MintConfig::default().with_shard_count(4));
+            sharded.process(&traces);
+        });
+        let payload = result.expect_err("worker panic must propagate");
+        let message = worker_panic_message(payload.as_ref());
+        assert!(
+            message.contains("injected sharded fault"),
+            "panic message lost: {message:?}"
+        );
+    }
+
+    #[test]
+    fn empty_batch_charges_no_duration_or_network() {
+        // Regression: an empty batch used to clamp the empty span window to
+        // a 1 s batch and re-charge a full per-batch pattern upload.
+        let traces = workload(100);
+        let mut sharded = ShardedDeployment::new(MintConfig::default().with_shard_count(2));
+        let before = sharded.process(&traces);
+        let after = sharded.process(&TraceSet::default());
+        assert_eq!(after.traces, before.traces);
+        assert_eq!(
+            after.duration_s, before.duration_s,
+            "empty batch inflated the simulated duration"
+        );
+        assert_eq!(
+            after.network, before.network,
+            "empty batch charged network traffic"
+        );
+    }
+
+    #[test]
+    fn empty_batch_does_not_lock_in_an_empty_warm_up() {
+        let traces = workload(80);
+        let mut sharded = ShardedDeployment::new(MintConfig::default().with_shard_count(2));
+        let empty = sharded.process(&TraceSet::default());
+        assert_eq!(empty.traces, 0);
+        assert_eq!(empty.duration_s, 0);
+        // The later real batch must warm up normally and stay queryable.
+        let report = sharded.process(&traces);
+        assert_eq!(report.traces, 80);
+        for trace in &traces {
+            assert!(!sharded.backend().query(trace.trace_id()).is_miss());
+        }
+    }
+
+    #[test]
+    fn query_handle_tracks_batch_reconciles() {
+        let traces = workload(60);
+        let mut sharded = ShardedDeployment::new(MintConfig::default().with_shard_count(2));
+        let handle = sharded.query_handle();
+        assert_eq!(handle.generation(), 1);
+        for trace in &traces {
+            assert!(handle.query(trace.trace_id()).is_miss());
+        }
+        sharded.process(&traces);
+        assert_eq!(handle.generation(), 2);
+        for trace in &traces {
+            assert!(!handle.query(trace.trace_id()).is_miss());
         }
     }
 

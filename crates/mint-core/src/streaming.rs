@@ -57,11 +57,15 @@
 use crate::collector::{batch_duration_s, DeploymentReport, MintCollector, MintDeployment};
 use crate::config::MintConfig;
 use crate::merge::{IncrementalMerger, MergeStats};
-use crate::sharded::shard_of;
+use crate::sharded::{shard_of, worker_panic_message};
+use crate::snapshot::QueryHandle;
 use crate::MintBackend;
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 use trace_model::{Trace, TraceSet};
+
+#[cfg(test)]
+use crate::sharded::trigger_test_panic;
 
 /// What the driver did at one epoch boundary (or at the end-of-stream
 /// reconcile, flagged by [`EpochStats::end_of_stream`]).
@@ -142,6 +146,17 @@ impl StreamingDeployment {
     /// to the most recent epoch boundary / completed stream.
     pub fn backend(&self) -> &MintBackend {
         self.merger.backend()
+    }
+
+    /// A cheap cloneable handle for querying the latest published snapshot
+    /// generation from any thread — including while
+    /// [`process_stream`](StreamingDeployment::process_stream) is draining
+    /// a source on this thread.  Creating the handle publishes the current
+    /// merged state; every subsequent epoch reconcile republishes at its
+    /// boundary, so a reader only ever observes epoch-boundary states
+    /// (see [`QueryHandle`]).
+    pub fn query_handle(&mut self) -> QueryHandle {
+        self.merger.query_handle()
     }
 
     /// The merged collector (for network accounting).
@@ -240,7 +255,9 @@ impl StreamingDeployment {
         let mut source = source.into_iter();
 
         // A live source cannot be warmed on "the full batch"; buffer the
-        // first epoch and use it as the warm-up sample.
+        // first epoch and use it as the warm-up sample.  An empty source
+        // must not lock in an empty warm-up: the deployment stays unwarmed
+        // so a later non-empty stream warms properly.
         let mut prefix: Vec<Trace> = Vec::new();
         if !self.warmed_up {
             while prefix.len() < epoch_size {
@@ -249,12 +266,15 @@ impl StreamingDeployment {
                     None => break,
                 }
             }
-            let sample: TraceSet = prefix.iter().cloned().collect();
-            self.warm_up(&sample);
+            if !prefix.is_empty() {
+                let sample: TraceSet = prefix.iter().cloned().collect();
+                self.warm_up(&sample);
+            }
         }
 
         let (mut min_start, mut max_end) = (u64::MAX, 0u64);
         let mut epoch_fill = 0u64;
+        let mut traces_seen = 0u64;
 
         let mut states: Vec<Option<MintDeployment>> = std::mem::take(&mut self.shards)
             .into_iter()
@@ -265,6 +285,7 @@ impl StreamingDeployment {
             let mut work_txs = Vec::with_capacity(shard_count);
             let mut state_rxs = Vec::with_capacity(shard_count);
             let mut resume_txs = Vec::with_capacity(shard_count);
+            let mut handles = Vec::with_capacity(shard_count);
             for state in states.iter_mut() {
                 let (work_tx, work_rx) = mpsc::sync_channel::<ShardMsg>(queue_depth);
                 let (state_tx, state_rx) = mpsc::channel::<MintDeployment>();
@@ -273,10 +294,12 @@ impl StreamingDeployment {
                 state_rxs.push(state_rx);
                 resume_txs.push(resume_tx);
                 let mut shard = state.take().expect("shard state present at spawn");
-                scope.spawn(move || loop {
+                handles.push(scope.spawn(move || loop {
                     match work_rx.recv() {
                         Ok(ShardMsg::Batch(batch)) => {
                             for trace in &batch {
+                                #[cfg(test)]
+                                trigger_test_panic(trace);
                                 shard.ingest_trace(trace);
                             }
                         }
@@ -297,7 +320,7 @@ impl StreamingDeployment {
                             return;
                         }
                     }
-                });
+                }));
             }
 
             // Per-shard dispatch buffers: traces accumulate here and ship in
@@ -307,45 +330,55 @@ impl StreamingDeployment {
             let mut pending: Vec<Vec<Trace>> = (0..shard_count)
                 .map(|_| Vec::with_capacity(batch_size))
                 .collect();
+            // A failed send means the receiving worker died (it never drops
+            // its queue otherwise); the next state collection notices the
+            // disconnect and resurfaces the worker's actual panic, so send
+            // failures are deliberately ignored here.
             let flush = |pending: &mut Vec<Vec<Trace>>, work_txs: &[mpsc::SyncSender<ShardMsg>]| {
                 for (buffer, work_tx) in pending.iter_mut().zip(work_txs) {
                     if !buffer.is_empty() {
-                        work_tx
-                            .send(ShardMsg::Batch(std::mem::take(buffer)))
-                            .expect("shard worker hung up");
+                        let _ = work_tx.send(ShardMsg::Batch(std::mem::take(buffer)));
                     }
                 }
             };
 
-            for trace in prefix.drain(..).chain(source.by_ref()) {
+            // One-trace look-ahead: pull the successor before dispatching a
+            // trace, so the boundary that closes the final epoch is known to
+            // be the end of the stream and is handled by the end-of-stream
+            // reconcile below — an exact-multiple stream no longer records a
+            // redundant zero-trace epoch or pays an extra reconcile.
+            let mut stream = prefix.drain(..).chain(source.by_ref());
+            let mut next_trace = stream.next();
+            while let Some(trace) = next_trace {
+                next_trace = stream.next();
                 for span in trace.spans() {
                     min_start = min_start.min(span.start_time_us());
                     max_end = max_end.max(span.end_time_us());
                 }
+                traces_seen += 1;
                 let shard = shard_of(trace.trace_id(), shard_count);
                 pending[shard].push(trace);
                 if pending[shard].len() >= batch_size {
                     let batch =
                         std::mem::replace(&mut pending[shard], Vec::with_capacity(batch_size));
-                    work_txs[shard]
-                        .send(ShardMsg::Batch(batch))
-                        .expect("shard worker hung up");
+                    let _ = work_txs[shard].send(ShardMsg::Batch(batch));
                 }
                 epoch_fill += 1;
-                if epoch_fill == epoch_size as u64 {
+                if epoch_fill == epoch_size as u64 && next_trace.is_some() {
                     // Epoch barrier: drain the dispatch buffers, collect
                     // every worker's state, merge incrementally, hand the
                     // states back.
                     flush(&mut pending, &work_txs);
                     for work_tx in &work_txs {
-                        work_tx
-                            .send(ShardMsg::EpochEnd)
-                            .expect("shard worker hung up");
+                        let _ = work_tx.send(ShardMsg::EpochEnd);
                     }
-                    let shards: Vec<MintDeployment> = state_rxs
-                        .iter()
-                        .map(|rx| rx.recv().expect("shard worker panicked"))
-                        .collect();
+                    let mut shards: Vec<MintDeployment> = Vec::with_capacity(shard_count);
+                    for state_rx in &state_rxs {
+                        match state_rx.recv() {
+                            Ok(shard) => shards.push(shard),
+                            Err(_) => propagate_worker_panic(work_txs, resume_txs, handles),
+                        }
+                    }
                     let merge_start = Instant::now();
                     let merge = self.merger.reconcile(&shards);
                     let stats = EpochStats {
@@ -359,7 +392,7 @@ impl StreamingDeployment {
                     observe(&stats);
                     epoch_fill = 0;
                     for (resume_tx, shard) in resume_txs.iter().zip(shards) {
-                        resume_tx.send(shard).expect("shard worker hung up");
+                        let _ = resume_tx.send(shard);
                     }
                 }
             }
@@ -369,7 +402,10 @@ impl StreamingDeployment {
             flush(&mut pending, &work_txs);
             drop(work_txs);
             for (state, state_rx) in states.iter_mut().zip(&state_rxs) {
-                *state = Some(state_rx.recv().expect("shard worker panicked"));
+                match state_rx.recv() {
+                    Ok(shard) => *state = Some(shard),
+                    Err(_) => propagate_worker_panic(Vec::new(), resume_txs, handles),
+                }
             }
         });
 
@@ -378,13 +414,19 @@ impl StreamingDeployment {
             .map(|s| s.expect("every shard state collected"))
             .collect();
 
-        // End-of-stream reconcile (publishes the tail of the last partial
-        // epoch) plus the serial driver's end-of-batch accounting.
+        // End-of-stream reconcile (publishes the tail of the stream — a
+        // partial or, for exact-multiple streams, full final epoch) plus the
+        // serial driver's end-of-batch accounting.  A stream that delivered
+        // zero traces skips the duration/network accounting entirely:
+        // `(min_start, max_end)` is still the empty sentinel and clamping it
+        // to a 1 s batch would charge a phantom per-batch pattern upload.
         let merge_start = Instant::now();
         let merge = self.merger.reconcile(&self.shards);
-        let stream_duration = batch_duration_s(min_start, max_end);
-        self.duration_s += stream_duration;
-        self.merger.charge_batch(&self.config, stream_duration);
+        if traces_seen > 0 {
+            let stream_duration = batch_duration_s(min_start, max_end);
+            self.duration_s += stream_duration;
+            self.merger.charge_batch(&self.config, stream_duration);
+        }
         let stats = EpochStats {
             epoch: self.epochs,
             traces: epoch_fill,
@@ -412,6 +454,34 @@ impl StreamingDeployment {
             duration_s: self.duration_s,
         }
     }
+}
+
+/// Tears down the worker pool after a state-collection failure and
+/// resurfaces the actual panic message(s) from the dead worker(s).
+///
+/// A disconnected `state_rx` means a worker died without handing its state
+/// back — i.e. it panicked.  Closing the work and resume channels first
+/// unblocks every still-live worker (they observe the disconnect and exit),
+/// so the joins cannot deadlock; each join then recovers the dead worker's
+/// panic payload, which an `.expect` on the receive side would have
+/// discarded.
+fn propagate_worker_panic<T>(
+    work_txs: Vec<mpsc::SyncSender<ShardMsg>>,
+    resume_txs: Vec<mpsc::Sender<MintDeployment>>,
+    handles: Vec<std::thread::ScopedJoinHandle<'_, T>>,
+) -> ! {
+    drop(work_txs);
+    drop(resume_txs);
+    let mut messages = Vec::new();
+    for handle in handles {
+        if let Err(payload) = handle.join() {
+            messages.push(worker_panic_message(payload.as_ref()).to_owned());
+        }
+    }
+    if messages.is_empty() {
+        panic!("shard worker hung up without a recorded panic");
+    }
+    panic!("shard worker panicked: {}", messages.join("; "));
 }
 
 #[cfg(test)]
@@ -464,9 +534,156 @@ mod tests {
         let mut streaming = StreamingDeployment::new(config);
         let report = streaming.process(&traces);
         assert_eq!(report.traces, 40);
-        assert_eq!(streaming.epoch_stats().len(), 41);
+        // One reconcile per trace, the last of which is the end-of-stream
+        // reconcile — never a redundant 41st zero-trace epoch.
+        assert_eq!(streaming.epoch_stats().len(), 40);
         for trace in &traces {
             assert!(!streaming.backend().query(trace.trace_id()).is_miss());
+        }
+    }
+
+    #[test]
+    fn exact_multiple_stream_skips_the_redundant_tail_epoch() {
+        // 96 traces at epoch size 32: exactly 3 epochs.  The third epoch's
+        // boundary coincides with the end of the stream, so its reconcile IS
+        // the end-of-stream reconcile — 3 entries, not 3 + a zero-trace tail.
+        let traces = workload(96);
+        let config = MintConfig::default()
+            .with_shard_count(2)
+            .with_epoch_trace_count(32);
+        let mut streaming = StreamingDeployment::new(config);
+        let report = streaming.process(&traces);
+        assert_eq!(report.traces, 96);
+        let epochs = streaming.epoch_stats();
+        assert_eq!(epochs.len(), 3, "redundant tail epoch recorded");
+        assert!(epochs.last().unwrap().end_of_stream);
+        assert_eq!(epochs.last().unwrap().traces, 32);
+        assert!(epochs.iter().all(|e| e.traces == 32));
+        for trace in &traces {
+            assert!(!streaming.backend().query(trace.trace_id()).is_miss());
+        }
+    }
+
+    #[test]
+    fn empty_stream_charges_no_duration_or_network() {
+        // Regression: an empty stream used to clamp the empty span window to
+        // a 1 s batch and charge a full per-batch pattern upload.
+        let traces = workload(80);
+        let mut streaming = StreamingDeployment::new(
+            MintConfig::default()
+                .with_shard_count(2)
+                .with_epoch_trace_count(16),
+        );
+        let before = streaming.process(&traces);
+        let after = streaming.process_stream(std::iter::empty());
+        assert_eq!(after.traces, before.traces);
+        assert_eq!(
+            after.duration_s, before.duration_s,
+            "empty stream inflated the simulated duration"
+        );
+        assert_eq!(
+            after.network, before.network,
+            "empty stream charged network traffic"
+        );
+    }
+
+    #[test]
+    fn empty_stream_does_not_lock_in_an_empty_warm_up() {
+        let traces = workload(60);
+        let mut streaming = StreamingDeployment::new(
+            MintConfig::default()
+                .with_shard_count(2)
+                .with_epoch_trace_count(16),
+        );
+        streaming.process_stream(std::iter::empty());
+        // The later real stream must warm up normally and stay queryable.
+        let report = streaming.process_stream(traces.iter().cloned());
+        assert_eq!(report.traces, 60);
+        for trace in &traces {
+            assert!(!streaming.backend().query(trace.trace_id()).is_miss());
+        }
+    }
+
+    #[test]
+    fn worker_panic_message_reaches_the_coordinator() {
+        use trace_model::AttrValue;
+        let mut traces: Vec<Trace> = workload(30).iter().cloned().collect();
+        for span in traces[17].spans_mut() {
+            span.attributes_mut().insert(
+                "mint_test_panic",
+                AttrValue::str("injected streaming fault"),
+            );
+        }
+        let config = MintConfig::default()
+            .with_shard_count(3)
+            .with_epoch_trace_count(8);
+        let result = std::panic::catch_unwind(move || {
+            let mut streaming = StreamingDeployment::new(config);
+            streaming.process_stream(traces);
+        });
+        let payload = result.expect_err("worker panic must propagate");
+        let message = worker_panic_message(payload.as_ref());
+        assert!(
+            message.contains("injected streaming fault"),
+            "panic message lost: {message:?}"
+        );
+    }
+
+    #[test]
+    fn queries_work_mid_stream_through_the_handle() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let traces = workload(200);
+        let config = MintConfig::default()
+            .with_shard_count(2)
+            .with_epoch_trace_count(25);
+        let mut streaming = StreamingDeployment::new(config);
+        streaming.warm_up(&traces);
+        let handle = streaming.query_handle();
+        assert_eq!(handle.generation(), 1);
+
+        let ids: Vec<_> = traces.iter().map(|t| t.trace_id()).collect();
+        let done = AtomicBool::new(false);
+        let observed = std::thread::scope(|scope| {
+            let reader = scope.spawn({
+                let handle = handle.clone();
+                let ids = ids.clone();
+                let done = &done;
+                move || {
+                    // Hammer the handle while the stream drains, recording
+                    // every generation observed.  Queries against any
+                    // generation must be answerable (content equivalence is
+                    // the differential suite's job).
+                    let mut generations = std::collections::BTreeSet::new();
+                    loop {
+                        let finished = done.load(Ordering::Acquire);
+                        let snapshot = handle.snapshot();
+                        generations.insert(snapshot.generation());
+                        for id in &ids {
+                            let _ = snapshot.query(*id);
+                        }
+                        if finished {
+                            return generations;
+                        }
+                    }
+                }
+            });
+            streaming.process_stream(traces.iter().cloned());
+            done.store(true, Ordering::Release);
+            reader.join().expect("reader panicked")
+        });
+
+        // 200 traces / epoch 25 = 8 reconciles on top of the handle-creation
+        // publication: the final generation is 9, and the reader's last
+        // refresh (after `done`) must have seen it.
+        assert_eq!(handle.generation(), 9);
+        assert_eq!(observed.last(), Some(&9));
+        assert!(observed.iter().all(|&generation| generation >= 1));
+
+        // After the stream, the handle serves the final reconciled state:
+        // every trace is queryable, identical to the synchronous API.
+        let snapshot = handle.snapshot();
+        for id in &ids {
+            assert!(!snapshot.query(*id).is_miss(), "miss for {id}");
         }
     }
 

@@ -264,6 +264,175 @@ fn mint_biased_streaming_stays_queryable_and_bounded() {
     }
 }
 
+/// Renders the full query surface (every workload trace id) of one backend
+/// state as an id-free fingerprint, so states from different deployments —
+/// or from a pinned concurrent snapshot — can be compared byte for byte.
+fn query_fingerprint(
+    traces: &TraceSet,
+    query: impl Fn(trace_model::TraceId) -> QueryResult,
+) -> Vec<String> {
+    traces
+        .iter()
+        .map(|trace| match query(trace.trace_id()) {
+            QueryResult::Miss => "miss".to_owned(),
+            QueryResult::Exact(exact) => format!("exact:{exact:?}"),
+            QueryResult::Approximate(approx) => format!("approx:{:?}", approx_key(&approx)),
+        })
+        .collect()
+}
+
+/// The tentpole differential: reader threads hammering a cloned
+/// [`mint_core::QueryHandle`] mid-stream must only ever observe states
+/// byte-identical to some epoch-boundary snapshot of the serial oracle.
+///
+/// The oracle is the serial driver fed the identical workload in
+/// epoch-sized batches: its state after batch *k* is exactly what generation
+/// *k + 1* must answer (generation 1 is the post-warm-up, pre-stream state
+/// published by `query_handle` itself).  Readers pin every distinct
+/// generation they see; each pinned snapshot is fingerprinted over the full
+/// query surface and matched against its boundary.
+#[test]
+fn concurrent_queries_observe_only_epoch_boundary_states() {
+    use std::collections::BTreeMap;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let epoch = 20usize;
+    // An exact multiple of the epoch size: boundaries align with the serial
+    // chunks, and (with the look-ahead stream loop) the final epoch doubles
+    // as the end-of-stream reconcile — no redundant tail generation.
+    let n = (scaled(120) / epoch).max(3) * epoch;
+    let traces = workload(31337, n, 0.05);
+    let base = MintConfig::default().with_sampling_mode(SamplingMode::AbnormalTag);
+    let epochs = n / epoch;
+
+    // Serial oracle: warm on the full batch (mirroring the streaming
+    // driver's explicit warm-up), then process epoch-sized batches,
+    // fingerprinting the queryable state at every boundary.
+    let mut serial = MintDeployment::new(base.clone());
+    serial.warm_up(&traces);
+    let mut boundaries: Vec<Vec<String>> =
+        vec![query_fingerprint(&traces, |id| serial.backend().query(id))];
+    let all: Vec<trace_model::Trace> = traces.iter().cloned().collect();
+    for chunk in all.chunks(epoch) {
+        let batch: TraceSet = chunk.iter().cloned().collect();
+        serial.process(&batch);
+        boundaries.push(query_fingerprint(&traces, |id| serial.backend().query(id)));
+    }
+    assert_eq!(boundaries.len(), epochs + 1);
+
+    for shards in [2usize, 4] {
+        let mut streaming = StreamingDeployment::new(
+            base.clone()
+                .with_shard_count(shards)
+                .with_epoch_trace_count(epoch),
+        );
+        streaming.warm_up(&traces);
+        let handle = streaming.query_handle();
+        assert_eq!(
+            handle.generation(),
+            1,
+            "subscribe publishes the current state"
+        );
+        let done = AtomicBool::new(false);
+
+        std::thread::scope(|scope| {
+            let readers: Vec<_> = (0..2)
+                .map(|_| {
+                    let reader = handle.clone();
+                    let done = &done;
+                    scope.spawn(move || {
+                        let mut pinned = BTreeMap::new();
+                        loop {
+                            // Load the flag BEFORE taking the snapshot: once
+                            // the stream has drained (and its final reconcile
+                            // published), the next snapshot is guaranteed to
+                            // be the final generation, so every reader pins
+                            // it before returning.
+                            let finished = done.load(Ordering::Acquire);
+                            let snapshot = reader.snapshot();
+                            pinned.entry(snapshot.generation()).or_insert(snapshot);
+                            if finished {
+                                return pinned;
+                            }
+                            std::thread::yield_now();
+                        }
+                    })
+                })
+                .collect();
+
+            streaming.process_stream(traces.iter().cloned());
+            done.store(true, Ordering::Release);
+
+            for reader in readers {
+                let pinned = reader.join().expect("reader thread panicked");
+                assert!(
+                    pinned.contains_key(&(epochs as u64 + 1)),
+                    "{shards} shard(s): reader never saw the final generation"
+                );
+                for (generation, snapshot) in pinned {
+                    let boundary = (generation - 1) as usize;
+                    assert!(
+                        boundary < boundaries.len(),
+                        "{shards} shard(s): generation {generation} beyond the last boundary"
+                    );
+                    assert_eq!(
+                        query_fingerprint(&traces, |id| snapshot.query(id)),
+                        boundaries[boundary],
+                        "{shards} shard(s): generation {generation} diverged from \
+                         serial boundary {boundary}"
+                    );
+                }
+            }
+        });
+
+        // Generation arithmetic doubles as the tail-epoch pin: one subscribe
+        // publication plus exactly one per reconcile — a redundant
+        // zero-trace end-of-stream epoch would add one more.
+        assert_eq!(handle.generation(), epochs as u64 + 1);
+        assert_eq!(streaming.epoch_stats().len(), epochs);
+    }
+}
+
+/// A stream of exactly `k * epoch_trace_count` traces reconciles `k` times
+/// — the final epoch doubles as the end-of-stream reconcile instead of
+/// being followed by a redundant zero-trace epoch — while still matching
+/// the serial report and query surface byte for byte.
+#[test]
+fn exact_multiple_stream_matches_serial_without_a_tail_epoch() {
+    let epoch = 16usize;
+    let n = (scaled(96) / epoch).max(3) * epoch;
+    let traces = workload(2718, n, 0.04);
+    let base = MintConfig::default().with_sampling_mode(SamplingMode::AbnormalTag);
+
+    let mut serial = MintDeployment::new(base.clone());
+    let serial_report = serial.process(&traces);
+
+    for shards in [1usize, 4] {
+        let context = format!("{shards} shard(s), epoch {epoch}, exact-multiple stream");
+        let mut streaming = StreamingDeployment::new(
+            base.clone()
+                .with_shard_count(shards)
+                .with_epoch_trace_count(epoch),
+        );
+        let report = streaming.process(&traces);
+        assert_eq!(report, serial_report, "{context}: report diverged");
+        assert_queries_match(&traces, &serial, streaming.backend(), &context);
+
+        let stats = streaming.epoch_stats();
+        assert_eq!(stats.len(), n / epoch, "{context}: redundant tail epoch");
+        let last = stats.last().expect("at least one epoch");
+        assert!(
+            last.end_of_stream,
+            "{context}: final epoch not end-of-stream"
+        );
+        assert_eq!(last.traces, epoch as u64, "{context}: final epoch short");
+        assert!(
+            stats.iter().all(|e| e.traces == epoch as u64),
+            "{context}: uneven epochs"
+        );
+    }
+}
+
 /// Chaos-laden streams obey the same serial-equivalence oracle.  The timed
 /// in-flight perturbation is a pure function of `(scenario, trace)` — every
 /// injector draw is keyed on the trace id — so a materialized chaos stream
