@@ -150,6 +150,16 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// Renders a float for JSON at full round-trip precision; non-finite
+/// values (which JSON cannot represent) become `null`.
+fn json_f64(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else {
+        "null".to_string()
+    }
+}
+
 /// Serializes the results as the `BENCH_chaos.json` document (hand-rolled:
 /// the workspace's vendored `serde` is derive-markers only).
 fn render_json(cfg: &ExpConfig, smoke: bool, results: &[ScenarioResult]) -> String {
@@ -182,12 +192,12 @@ fn render_json(cfg: &ExpConfig, smoke: bool, results: &[ScenarioResult]) -> Stri
         out.push_str(&format!("      \"eligible_traces\": {},\n", r.eligible));
         out.push_str(&format!("      \"affected_traces\": {},\n", r.affected));
         out.push_str(&format!(
-            "      \"mint_capture_rate\": {:.6},\n",
-            r.mint_capture
+            "      \"mint_capture_rate\": {},\n",
+            json_f64(r.mint_capture)
         ));
         out.push_str(&format!(
-            "      \"head_capture_rate\": {:.6},\n",
-            r.head_capture
+            "      \"head_capture_rate\": {},\n",
+            json_f64(r.head_capture)
         ));
         out.push_str(&format!("      \"epochs\": {},\n", r.epochs_observed));
         out.push_str("      \"rca\": {");
@@ -291,6 +301,7 @@ fn main() {
                 if fault.is_latency_fault() {
                     assert!(
                         mint_capture >= head_capture,
+                        // mint-lint: allow(L007) — human-facing panic message, not part of the JSON document
                         "{name}: biased capture {mint_capture:.3} fell below the \
                          head-sampling baseline {head_capture:.3}"
                     );

@@ -85,6 +85,7 @@ pub fn tokenize_borrowed(value: &str) -> Vec<&str> {
 
 /// Appends the tokens of `value` to `out` (cleared first).  The fully
 /// allocation-free entry point for callers that hold a reusable buffer.
+// mint-lint: hot
 pub fn tokenize_into<'a>(value: &'a str, out: &mut Vec<&'a str>) {
     out.clear();
     let mut start: Option<usize> = None;
@@ -113,6 +114,7 @@ pub fn tokenize_into<'a>(value: &'a str, out: &mut Vec<&'a str>) {
 /// thread-local scratch rows (no per-call allocation).  Generic over the two
 /// item types so borrowed tokens compare against owned ones without cloning
 /// (`&str` vs `String`, `String` vs `String`, …).
+// mint-lint: hot
 pub fn lcs_length<A, B>(a: &[A], b: &[B]) -> usize
 where
     A: PartialEq<B>,
@@ -138,6 +140,7 @@ where
 /// The paper's similarity measure over already-tokenized strings:
 /// `|LCS| / max(len_a, len_b)`.  Two empty sequences are fully similar.
 /// Generic over borrowed/owned token mixes like [`lcs_length`].
+// mint-lint: hot
 pub fn similarity<A, B>(a: &[A], b: &[B]) -> f64
 where
     A: PartialEq<B>,

@@ -286,6 +286,7 @@ impl IncrementalMerger {
                     let mut pattern = catalog
                         .spans
                         .get(local_id)
+                        // mint-lint: allow(L003) — pattern ids are interned densely from 1; the loop bound is the library length
                         .expect("dense span pattern ids")
                         .clone();
                     for (key, attr) in pattern.attrs.iter_mut() {
@@ -318,6 +319,7 @@ impl IncrementalMerger {
                     let pattern = agent
                         .topo_library()
                         .get(local_id)
+                        // mint-lint: allow(L003) — pattern ids are interned densely from 1; the loop bound is the library length
                         .expect("dense topo pattern ids");
                     let before = canon.topo.len();
                     let canonical_id = canon.intern_topo(remap_topo(pattern, &marks.span_remap));
@@ -336,6 +338,7 @@ impl IncrementalMerger {
                 let marks = self.marks[shard_index]
                     .nodes
                     .get_mut(node)
+                    // mint-lint: allow(L003) — step 1 interned marks for every node before blooms are walked
                     .expect("bloom for a node with no interned agent state");
                 let seen = marks.sealed_seen.entry(*local_id).or_insert(0);
                 if *seen == blooms.len() {
@@ -381,6 +384,7 @@ impl IncrementalMerger {
                 let (node, params) = shard
                     .backend
                     .params_block(*trace_id, *block_index)
+                    // mint-lint: allow(L003) — the params log only records blocks the backend just stored
                     .expect("params log points at a stored block");
                 let mut params = params.clone();
                 if let Some(marks) = self.marks[shard_index].nodes.get(node) {

@@ -38,7 +38,8 @@
 use crate::backend::{MintBackend, QueryResult};
 use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+// mint-lint: allow(L006) — the slot mutex below IS the sanctioned RCU publication point (see Publication)
+use std::sync::{Arc, Mutex, MutexGuard};
 use trace_model::{TraceId, TraceView};
 
 /// One immutable published generation of the merged backend.
@@ -83,7 +84,22 @@ impl BackendSnapshot {
 #[derive(Debug)]
 struct Publication {
     version: AtomicU64,
+    // mint-lint: allow(L006) — writer-side swap point only; steady-state readers never take this lock (one atomic version load)
     slot: Mutex<Arc<BackendSnapshot>>,
+}
+
+/// Locks the publication slot, recovering from poison.
+///
+/// The slot only ever holds an `Arc` pointer and the critical sections are
+/// single `mem::replace`/`Arc::clone` statements, so a panic elsewhere on a
+/// holding thread cannot leave the value torn — the poisoned guard's
+/// contents are always valid to reuse.
+// mint-lint: allow(L006) — helper signature for the sanctioned writer-side slot above
+fn lock_slot(slot: &Mutex<Arc<BackendSnapshot>>) -> MutexGuard<'_, Arc<BackendSnapshot>> {
+    match slot.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
 }
 
 /// Writer side of the snapshot scheme, owned by the incremental merger.
@@ -102,6 +118,7 @@ impl Default for SnapshotPublisher {
         SnapshotPublisher {
             publication: Arc::new(Publication {
                 version: AtomicU64::new(0),
+                // mint-lint: allow(L006) — constructing the sanctioned writer-side slot
                 slot: Mutex::new(Arc::new(BackendSnapshot {
                     backend: MintBackend::new(),
                     generation: 0,
@@ -138,11 +155,7 @@ impl SnapshotPublisher {
             generation: self.generation,
         });
         let previous = {
-            let mut slot = self
-                .publication
-                .slot
-                .lock()
-                .expect("publication slot poisoned");
+            let mut slot = lock_slot(&self.publication.slot);
             let previous = std::mem::replace(&mut *slot, next);
             self.publication.version.fetch_add(1, Ordering::Release);
             previous
@@ -176,7 +189,7 @@ pub struct QueryHandle {
 impl QueryHandle {
     fn new(publication: Arc<Publication>) -> Self {
         let (version, snapshot) = {
-            let slot = publication.slot.lock().expect("publication slot poisoned");
+            let slot = lock_slot(&publication.slot);
             // Read the version while holding the lock: the writer bumps it
             // inside the same critical section, so this pairs the counter
             // with the exact generation in the slot.
@@ -200,11 +213,7 @@ impl QueryHandle {
     pub fn snapshot(&self) -> Arc<BackendSnapshot> {
         let version = self.publication.version.load(Ordering::Acquire);
         if version != self.cached_version.get() {
-            let slot = self
-                .publication
-                .slot
-                .lock()
-                .expect("publication slot poisoned");
+            let slot = lock_slot(&self.publication.slot);
             self.cached_version
                 .set(self.publication.version.load(Ordering::Acquire));
             *self.cached.borrow_mut() = Arc::clone(&slot);

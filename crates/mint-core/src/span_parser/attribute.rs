@@ -203,6 +203,7 @@ impl StringAttributeParser {
     /// [`Self::parse`], tokenizing into a caller-provided buffer (cleared
     /// first).  A caller parsing many values — one span carries many
     /// attributes — pays for one token `Vec` total instead of one per value.
+    // mint-lint: hot
     pub fn parse_with_buffer<'a>(
         &mut self,
         value: &'a str,
@@ -305,6 +306,7 @@ impl AttributeParser {
 
     /// [`Self::parse`] with a caller-provided token buffer — see
     /// [`StringAttributeParser::parse_with_buffer`].
+    // mint-lint: hot
     pub fn parse_with_buffer<'a>(
         &mut self,
         value: &'a AttrValue,
@@ -319,6 +321,7 @@ impl AttributeParser {
                 )
             }
             (AttributeParser::Numeric(bucketer), value) if value.is_numeric() => {
+                // mint-lint: allow(L003) — the match guard `value.is_numeric()` makes as_f64 infallible here
                 let v = value.as_f64().expect("numeric value");
                 let (bucket, offset) = bucketer.parse(v);
                 (AttrPattern::Numeric, ParamValue::Num { bucket, offset })
@@ -328,6 +331,7 @@ impl AttributeParser {
             }
             // Type drift (e.g. a key that is usually numeric suddenly holds a
             // string): keep the raw value as the parameter.
+            // mint-lint: allow(L004) — cold fallback arm, hit only on type drift; the raw value must be owned to store
             (_, value) => (AttrPattern::Flag, ParamValue::Raw(value.clone())),
         }
     }

@@ -406,6 +406,7 @@ impl SpanParser {
         // One token buffer for the whole span: every attribute value is
         // tokenized into it in turn, so the per-value hot path allocates no
         // token storage at all.
+        // mint-lint: allow(L004) — empty Vec::new allocates nothing until first push; the buffer borrows from `span`, so it cannot be hoisted into `self` without unsafe lifetime laundering
         let mut token_buffer: Vec<&str> = Vec::new();
         for (key, value) in span.attributes().iter() {
             let parser = self

@@ -120,6 +120,7 @@ impl StringTemplate {
     ///
     /// Generic over borrowed (`&str`) and owned (`String`) tokens, and runs
     /// on the shared thread-local LCS scratch rows — no per-call allocation.
+    // mint-lint: hot
     pub fn similarity_to<S: AsRef<str>>(&self, tokens: &[S]) -> f64 {
         let denom = self.tokens.len().max(tokens.len());
         if denom == 0 {
@@ -176,6 +177,7 @@ impl StringTemplate {
     /// the first anchor occurrence and spuriously fails, while the DP
     /// considers every slot boundary.  Where the greedy scan succeeds, its
     /// answer is already leftmost-shortest, so the two tiers never disagree.
+    // mint-lint: hot
     pub fn match_and_extract<S: AsRef<str>>(&self, tokens: &[S]) -> Option<Vec<String>> {
         if let Some(params) = self.match_greedy(tokens) {
             return Some(params);
@@ -187,6 +189,7 @@ impl StringTemplate {
     /// occurrence of the next constant anchor.  Sound (a `Some` is always a
     /// valid match) but incomplete — it misses matches where a slot must
     /// swallow a token equal to its anchor.
+    // mint-lint: hot
     fn match_greedy<S: AsRef<str>>(&self, tokens: &[S]) -> Option<Vec<String>> {
         let mut params = Vec::with_capacity(self.var_count());
         let mut pos = 0usize;
@@ -236,6 +239,7 @@ impl StringTemplate {
     /// forward assigning each variable slot the shortest span that keeps the
     /// remainder matchable.  The table lives in a reusable thread-local
     /// buffer.
+    // mint-lint: hot
     fn match_exact<S: AsRef<str>>(&self, tokens: &[S]) -> Option<Vec<String>> {
         let n = self.tokens.len();
         let m = tokens.len();
@@ -282,6 +286,7 @@ impl StringTemplate {
                         let next = &can[(i + 1) * width..(i + 2) * width];
                         let end = (pos..=m)
                             .find(|&p| next[p])
+                            // mint-lint: allow(L003) — the backward pruning pass guarantees every reachable cell has a reachable successor
                             .expect("reachable Var cell must have a reachable successor");
                         params.push(join_tokens(&tokens[pos..end]));
                         pos = end;
@@ -359,6 +364,7 @@ impl fmt::Display for StringTemplate {
 }
 
 /// Joins slot tokens with single spaces into one owned parameter string.
+// mint-lint: hot
 fn join_tokens<S: AsRef<str>>(tokens: &[S]) -> String {
     if tokens.is_empty() {
         return String::new();

@@ -288,11 +288,15 @@ impl StreamingDeployment {
             let mut handles = Vec::with_capacity(shard_count);
             for state in states.iter_mut() {
                 let (work_tx, work_rx) = mpsc::sync_channel::<ShardMsg>(queue_depth);
-                let (state_tx, state_rx) = mpsc::channel::<MintDeployment>();
-                let (resume_tx, resume_rx) = mpsc::channel::<MintDeployment>();
+                // State and resume channels carry at most one in-flight
+                // message per worker per epoch, so a bound of 1 can never
+                // block the sender.
+                let (state_tx, state_rx) = mpsc::sync_channel::<MintDeployment>(1);
+                let (resume_tx, resume_rx) = mpsc::sync_channel::<MintDeployment>(1);
                 work_txs.push(work_tx);
                 state_rxs.push(state_rx);
                 resume_txs.push(resume_tx);
+                // mint-lint: allow(L003) — `states` is built as all-Some two lines up; nothing takes before spawn
                 let mut shard = state.take().expect("shard state present at spawn");
                 handles.push(scope.spawn(move || loop {
                     match work_rx.recv() {
@@ -304,7 +308,12 @@ impl StreamingDeployment {
                             }
                         }
                         Ok(ShardMsg::EpochEnd) => {
-                            state_tx.send(shard).expect("coordinator hung up");
+                            // Coordinator hung up mid-epoch (it panicked or
+                            // the stream was torn down): exit quietly rather
+                            // than adding a second panic on top.
+                            if state_tx.send(shard).is_err() {
+                                return;
+                            }
                             shard = match resume_rx.recv() {
                                 Ok(shard) => shard,
                                 // Coordinator dropped the resume channel:
@@ -411,6 +420,7 @@ impl StreamingDeployment {
 
         self.shards = states
             .into_iter()
+            // mint-lint: allow(L003) — the collect loop above either refills every slot or diverges via propagate_worker_panic
             .map(|s| s.expect("every shard state collected"))
             .collect();
 
@@ -467,7 +477,7 @@ impl StreamingDeployment {
 /// discarded.
 fn propagate_worker_panic<T>(
     work_txs: Vec<mpsc::SyncSender<ShardMsg>>,
-    resume_txs: Vec<mpsc::Sender<MintDeployment>>,
+    resume_txs: Vec<mpsc::SyncSender<MintDeployment>>,
     handles: Vec<std::thread::ScopedJoinHandle<'_, T>>,
 ) -> ! {
     drop(work_txs);

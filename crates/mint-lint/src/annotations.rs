@@ -1,0 +1,224 @@
+//! In-source lint annotations.
+//!
+//! Two directives are recognised inside comments (the directive prefix is
+//! the crate name followed by a colon; it is deliberately never spelled out
+//! in this crate's own comments so the self-lint does not parse its own
+//! documentation as annotations):
+//!
+//! * an `allow(CODE)` suppression, which must carry a written justification
+//!   after a `—` / `--` / `-` / `:` separator — a bare allow is itself a
+//!   violation (code `L000`);
+//! * a `hot` marker, which adds the next function to the L004 hot-path set.
+//!
+//! A suppression applies to findings on its own line or on the line
+//! immediately below (so it can sit on its own line above the offending
+//! statement, or trail the statement itself).
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::Comment;
+use std::path::Path;
+
+/// The directive prefix, assembled so the literal never appears in a
+/// comment in this crate.
+fn directive_prefix() -> &'static str {
+    concat!("mint", "-lint:")
+}
+
+/// A parsed `allow(CODE)` suppression with its justification text.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    pub code: String,
+    pub justification: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// A parsed `hot` marker; applies to the next function declared after it.
+#[derive(Debug, Clone)]
+pub struct HotMarker {
+    pub line: u32,
+}
+
+/// All annotations found in one file, plus diagnostics for malformed ones.
+#[derive(Debug, Default)]
+pub struct Annotations {
+    pub allows: Vec<Allow>,
+    pub hot_markers: Vec<HotMarker>,
+    pub malformed: Vec<Diagnostic>,
+}
+
+/// Scans the comment side channel for directives.
+pub fn parse(file: &Path, comments: &[Comment]) -> Annotations {
+    let mut out = Annotations::default();
+    for comment in comments {
+        let Some(idx) = comment.text.find(directive_prefix()) else {
+            continue;
+        };
+        let body = comment.text[idx + directive_prefix().len()..].trim();
+        let col = comment.col;
+        if body == "hot" {
+            out.hot_markers.push(HotMarker { line: comment.line });
+            continue;
+        }
+        if let Some(rest) = body.strip_prefix("allow(") {
+            let Some(close) = rest.find(')') else {
+                out.malformed.push(malformed(
+                    file,
+                    comment,
+                    col,
+                    "unterminated allow(...) directive".to_string(),
+                ));
+                continue;
+            };
+            let code = rest[..close].trim().to_string();
+            if !is_code(&code) {
+                out.malformed.push(malformed(
+                    file,
+                    comment,
+                    col,
+                    format!("`{code}` is not a lint code (expected L0xx)"),
+                ));
+                continue;
+            }
+            let after = rest[close + 1..].trim_start();
+            let justification = strip_separator(after).map(str::trim).unwrap_or("");
+            if justification.is_empty() {
+                out.malformed.push(malformed(
+                    file,
+                    comment,
+                    col,
+                    format!(
+                        "allow({code}) carries no justification; write `allow({code}) — <reason>`"
+                    ),
+                ));
+                continue;
+            }
+            out.allows.push(Allow {
+                code,
+                justification: justification.to_string(),
+                line: comment.line,
+                col,
+            });
+            continue;
+        }
+        out.malformed.push(malformed(
+            file,
+            comment,
+            col,
+            format!("unknown directive `{body}` (expected `allow(CODE) — <reason>` or `hot`)"),
+        ));
+    }
+    out
+}
+
+fn malformed(file: &Path, comment: &Comment, col: u32, message: String) -> Diagnostic {
+    Diagnostic::new(
+        "L000",
+        Severity::Error,
+        file.to_path_buf(),
+        comment.line,
+        col,
+        message,
+    )
+}
+
+fn is_code(code: &str) -> bool {
+    code.len() == 4 && code.starts_with('L') && code[1..].chars().all(|c| c.is_ascii_digit())
+}
+
+/// Strips a justification separator; returns the text after it, or `None`
+/// if no separator (and therefore no justification) is present.
+fn strip_separator(text: &str) -> Option<&str> {
+    for sep in ["—", "--", "-", ":"] {
+        if let Some(rest) = text.strip_prefix(sep) {
+            return Some(rest);
+        }
+    }
+    None
+}
+
+impl Annotations {
+    /// Whether an allow for `code` covers a finding at `line`, and if so
+    /// which allow index matched (for unused-allow tracking).
+    pub fn covering_allow(&self, code: &str, line: u32) -> Option<usize> {
+        self.allows
+            .iter()
+            .position(|a| a.code == code && (a.line == line || a.line + 1 == line))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+    use std::path::PathBuf;
+
+    fn scan(source: &str) -> Annotations {
+        let out = lexer::lex(source);
+        parse(&PathBuf::from("x.rs"), &out.comments)
+    }
+
+    #[test]
+    fn justified_allow_parses() {
+        let src = "// mint-lint: allow(L003) — poison cannot tear an Arc\nlet x = 1;";
+        let anns = scan(src);
+        assert_eq!(anns.allows.len(), 1);
+        assert_eq!(anns.allows[0].code, "L003");
+        assert!(anns.allows[0].justification.contains("poison"));
+        assert!(anns.malformed.is_empty());
+    }
+
+    #[test]
+    fn all_separators_accepted() {
+        for sep in ["—", "--", "-", ":"] {
+            let src = format!("// mint-lint: allow(L006) {sep} the slot is the RCU point");
+            let anns = scan(&src);
+            assert_eq!(anns.allows.len(), 1, "separator {sep:?}");
+        }
+    }
+
+    #[test]
+    fn bare_allow_is_malformed() {
+        let anns = scan("// mint-lint: allow(L003)\nlet x = 1;");
+        assert!(anns.allows.is_empty());
+        assert_eq!(anns.malformed.len(), 1);
+        assert_eq!(anns.malformed[0].code, "L000");
+    }
+
+    #[test]
+    fn separator_with_empty_text_is_malformed() {
+        let anns = scan("// mint-lint: allow(L003) — ");
+        assert!(anns.allows.is_empty());
+        assert_eq!(anns.malformed.len(), 1);
+    }
+
+    #[test]
+    fn unknown_directive_is_malformed() {
+        let anns = scan("// mint-lint: frobnicate");
+        assert_eq!(anns.malformed.len(), 1);
+    }
+
+    #[test]
+    fn hot_marker_parses() {
+        let anns = scan("// mint-lint: hot\nfn fast() {}");
+        assert_eq!(anns.hot_markers.len(), 1);
+        assert_eq!(anns.hot_markers[0].line, 1);
+    }
+
+    #[test]
+    fn coverage_is_same_line_or_line_above() {
+        let anns = scan("// mint-lint: allow(L003) — reason\nlet x = a.unwrap();");
+        assert!(anns.covering_allow("L003", 2).is_some());
+        assert!(anns.covering_allow("L003", 1).is_some());
+        assert!(anns.covering_allow("L003", 3).is_none());
+        assert!(anns.covering_allow("L002", 2).is_none());
+    }
+
+    #[test]
+    fn ordinary_comments_are_ignored() {
+        let anns = scan("// nothing to see here\n/* or here */");
+        assert!(anns.allows.is_empty());
+        assert!(anns.hot_markers.is_empty());
+        assert!(anns.malformed.is_empty());
+    }
+}

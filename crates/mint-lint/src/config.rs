@@ -1,0 +1,353 @@
+//! `lint.toml` loading via a minimal hand-rolled TOML subset parser.
+//!
+//! The vendored environment has no `toml` crate, so this module parses just
+//! the shapes the lint configuration uses: `[section]` headers, `key = value`
+//! with string / bool / integer / string-array values (arrays may span
+//! lines), and `#` comments.  Anything outside that subset is a hard error —
+//! a silently misread config would disable rules without anyone noticing.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Configuration error with enough context to fix the file.
+#[derive(Debug)]
+pub struct ConfigError {
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml: {}", self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ConfigError> {
+    Err(ConfigError {
+        message: msg.into(),
+    })
+}
+
+/// A parsed TOML value (subset).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Str(String),
+    Bool(bool),
+    Int(i64),
+    Array(Vec<String>),
+}
+
+/// The whole lint configuration, resolved relative to the workspace root.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Directories (relative to the root) to scan for `.rs` files.
+    pub scan: Vec<PathBuf>,
+    /// Path prefixes (relative to the root) excluded from scanning — used to
+    /// keep the linter's own violation fixtures out of the self-lint.
+    pub exclude: Vec<PathBuf>,
+    /// L001: files that must carry `#![forbid(unsafe_code)]`.
+    pub crate_roots: Vec<PathBuf>,
+    /// L002: driver-code paths where unbounded `mpsc::channel` is banned.
+    pub channel_paths: Vec<PathBuf>,
+    /// L003: library paths where `.unwrap()` / `.expect()` are banned
+    /// outside test code.
+    pub panic_paths: Vec<PathBuf>,
+    /// L004: qualified function names (`Type::name` or `name`) in the
+    /// hot-path set, in addition to marker-annotated functions.
+    pub hot_functions: Vec<String>,
+    /// L005: deterministic-module paths where ambient time/RNG is banned.
+    pub deterministic_paths: Vec<PathBuf>,
+    /// L006: snapshot/query publication paths where `Mutex`/`RwLock` is
+    /// banned.
+    pub rcu_paths: Vec<PathBuf>,
+    /// L007: bench JSON writer paths where `{:.N}` float truncation is
+    /// banned.
+    pub bench_json_paths: Vec<PathBuf>,
+}
+
+/// Parses the TOML subset into `section -> key -> value` maps.
+pub fn parse_toml(source: &str) -> Result<BTreeMap<String, BTreeMap<String, Value>>, ConfigError> {
+    let mut sections: BTreeMap<String, BTreeMap<String, Value>> = BTreeMap::new();
+    let mut current = String::new();
+    let mut lines = source.lines().enumerate().peekable();
+
+    while let Some((idx, raw)) = lines.next() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let Some(name) = rest.strip_suffix(']') else {
+                return err(format!("line {}: unterminated section header", idx + 1));
+            };
+            current = name.trim().to_string();
+            sections.entry(current.clone()).or_default();
+            continue;
+        }
+        let Some((key, value_src)) = line.split_once('=') else {
+            return err(format!("line {}: expected `key = value`", idx + 1));
+        };
+        let key = key.trim().to_string();
+        let mut value_src = value_src.trim().to_string();
+        // Multiline array: keep consuming lines until the bracket closes.
+        if value_src.starts_with('[') {
+            while !value_src.ends_with(']') {
+                let Some((_, cont)) = lines.next() else {
+                    return err(format!("line {}: unterminated array", idx + 1));
+                };
+                let cont = strip_comment(cont).trim().to_string();
+                if !cont.is_empty() {
+                    value_src.push(' ');
+                    value_src.push_str(&cont);
+                }
+            }
+        }
+        let value = parse_value(&value_src).map_err(|e| ConfigError {
+            message: format!("line {}: key `{}`: {}", idx + 1, key, e.message),
+        })?;
+        if current.is_empty() {
+            return err(format!(
+                "line {}: key `{}` outside any section",
+                idx + 1,
+                key
+            ));
+        }
+        sections
+            .entry(current.clone())
+            .or_default()
+            .insert(key, value);
+    }
+    Ok(sections)
+}
+
+/// Strips a trailing `#` comment, respecting `"…"` strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, ch) in line.char_indices() {
+        match ch {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(src: &str) -> Result<Value, ConfigError> {
+    if let Some(rest) = src.strip_prefix('"') {
+        let Some(body) = rest.strip_suffix('"') else {
+            return err("unterminated string");
+        };
+        if body.contains('"') {
+            return err("embedded quote in string (escapes are unsupported)");
+        }
+        return Ok(Value::Str(body.to_string()));
+    }
+    if src == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if src == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(rest) = src.strip_prefix('[') {
+        let Some(body) = rest.strip_suffix(']') else {
+            return err("unterminated array");
+        };
+        let mut items = Vec::new();
+        for piece in split_array_items(body) {
+            let piece = piece.trim();
+            if piece.is_empty() {
+                continue;
+            }
+            match parse_value(piece)? {
+                Value::Str(s) => items.push(s),
+                _ => return err("arrays may only contain strings"),
+            }
+        }
+        return Ok(Value::Array(items));
+    }
+    if let Ok(n) = src.parse::<i64>() {
+        return Ok(Value::Int(n));
+    }
+    err(format!("unsupported value `{src}`"))
+}
+
+/// Splits array contents on commas outside strings.
+fn split_array_items(body: &str) -> Vec<String> {
+    let mut items = Vec::new();
+    let mut current = String::new();
+    let mut in_string = false;
+    for ch in body.chars() {
+        match ch {
+            '"' => {
+                in_string = !in_string;
+                current.push(ch);
+            }
+            ',' if !in_string => {
+                items.push(std::mem::take(&mut current));
+            }
+            _ => current.push(ch),
+        }
+    }
+    if !current.trim().is_empty() {
+        items.push(current);
+    }
+    items
+}
+
+impl Config {
+    /// Loads configuration from a `lint.toml` file.
+    pub fn load(path: &Path) -> Result<Config, ConfigError> {
+        let source = std::fs::read_to_string(path).map_err(|e| ConfigError {
+            message: format!("cannot read {}: {e}", path.display()),
+        })?;
+        Config::from_toml(&source)
+    }
+
+    /// Builds configuration from TOML source.
+    pub fn from_toml(source: &str) -> Result<Config, ConfigError> {
+        let sections = parse_toml(source)?;
+        let mut config = Config::default();
+
+        for (section, keys) in &sections {
+            match section.as_str() {
+                "workspace" => {
+                    for (key, value) in keys {
+                        match key.as_str() {
+                            "scan" => config.scan = paths(section, key, value)?,
+                            "exclude" => config.exclude = paths(section, key, value)?,
+                            other => return err(format!("unknown key `{section}.{other}`")),
+                        }
+                    }
+                }
+                "rules.L001" => {
+                    for (key, value) in keys {
+                        match key.as_str() {
+                            "crate_roots" => config.crate_roots = paths(section, key, value)?,
+                            other => return err(format!("unknown key `{section}.{other}`")),
+                        }
+                    }
+                }
+                "rules.L002" => {
+                    for (key, value) in keys {
+                        match key.as_str() {
+                            "paths" => config.channel_paths = paths(section, key, value)?,
+                            other => return err(format!("unknown key `{section}.{other}`")),
+                        }
+                    }
+                }
+                "rules.L003" => {
+                    for (key, value) in keys {
+                        match key.as_str() {
+                            "paths" => config.panic_paths = paths(section, key, value)?,
+                            other => return err(format!("unknown key `{section}.{other}`")),
+                        }
+                    }
+                }
+                "rules.L004" => {
+                    for (key, value) in keys {
+                        match key.as_str() {
+                            "hot_functions" => config.hot_functions = strings(section, key, value)?,
+                            other => return err(format!("unknown key `{section}.{other}`")),
+                        }
+                    }
+                }
+                "rules.L005" => {
+                    for (key, value) in keys {
+                        match key.as_str() {
+                            "paths" => config.deterministic_paths = paths(section, key, value)?,
+                            other => return err(format!("unknown key `{section}.{other}`")),
+                        }
+                    }
+                }
+                "rules.L006" => {
+                    for (key, value) in keys {
+                        match key.as_str() {
+                            "paths" => config.rcu_paths = paths(section, key, value)?,
+                            other => return err(format!("unknown key `{section}.{other}`")),
+                        }
+                    }
+                }
+                "rules.L007" => {
+                    for (key, value) in keys {
+                        match key.as_str() {
+                            "paths" => config.bench_json_paths = paths(section, key, value)?,
+                            other => return err(format!("unknown key `{section}.{other}`")),
+                        }
+                    }
+                }
+                other => return err(format!("unknown section `[{other}]`")),
+            }
+        }
+        if config.scan.is_empty() {
+            return err("`[workspace] scan` must list at least one directory");
+        }
+        Ok(config)
+    }
+}
+
+fn strings(section: &str, key: &str, value: &Value) -> Result<Vec<String>, ConfigError> {
+    match value {
+        Value::Array(items) => Ok(items.clone()),
+        _ => err(format!("`{section}.{key}` must be a string array")),
+    }
+}
+
+fn paths(section: &str, key: &str, value: &Value) -> Result<Vec<PathBuf>, ConfigError> {
+    Ok(strings(section, key, value)?
+        .into_iter()
+        .map(PathBuf::from)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_config_shape() {
+        let src = r#"
+            # comment
+            [workspace]
+            scan = ["src", "crates"]
+            exclude = ["crates/mint-lint/tests"]
+
+            [rules.L001]
+            crate_roots = [
+                "src/lib.rs",           # umbrella
+                "crates/bench/src/lib.rs",
+            ]
+
+            [rules.L004]
+            hot_functions = ["SpanParser::parse"]
+        "#;
+        let config = Config::from_toml(src).unwrap();
+        assert_eq!(
+            config.scan,
+            vec![PathBuf::from("src"), PathBuf::from("crates")]
+        );
+        assert_eq!(config.exclude.len(), 1);
+        assert_eq!(config.crate_roots.len(), 2);
+        assert_eq!(config.hot_functions, vec!["SpanParser::parse"]);
+    }
+
+    #[test]
+    fn rejects_unknown_sections_and_keys() {
+        assert!(Config::from_toml("[workspace]\nscan = [\"src\"]\n[bogus]\nx = 1").is_err());
+        assert!(Config::from_toml("[workspace]\nscan = [\"src\"]\nwhat = true").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_scan() {
+        assert!(Config::from_toml("[rules.L001]\ncrate_roots = []").is_err());
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let src = "[workspace]\nscan = [\"dir#1\"]";
+        let config = Config::from_toml(src).unwrap();
+        assert_eq!(config.scan, vec![PathBuf::from("dir#1")]);
+    }
+}

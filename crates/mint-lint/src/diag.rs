@@ -1,0 +1,69 @@
+//! Diagnostics: lint findings with stable codes, severities and
+//! span-accurate positions.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// How serious a finding is.  `Error` findings fail the run (non-zero exit);
+/// `Warning` findings are printed but do not affect the exit code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Warning,
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One lint finding.  `code` is a stable identifier (`L001`…`L007`, plus
+/// `L000` for problems with suppression annotations themselves).
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    pub code: &'static str,
+    pub severity: Severity,
+    pub file: PathBuf,
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub fn new(
+        code: &'static str,
+        severity: Severity,
+        file: PathBuf,
+        line: u32,
+        col: u32,
+        message: String,
+    ) -> Self {
+        Diagnostic {
+            code,
+            severity,
+            file,
+            line,
+            col,
+            message,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}]: {}:{}:{}: {}",
+            self.severity,
+            self.code,
+            self.file.display(),
+            self.line,
+            self.col,
+            self.message
+        )
+    }
+}

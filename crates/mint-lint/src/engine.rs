@@ -1,0 +1,206 @@
+//! The lint engine: file discovery, per-file analysis, suppression
+//! handling, and report assembly.
+
+use crate::annotations::{self, Annotations};
+use crate::config::Config;
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer;
+use crate::model;
+use crate::rules::{self, FileContext};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// The outcome of one lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All surviving diagnostics, sorted by file, line, column, code.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files analysed.
+    pub files_scanned: usize,
+    /// Number of findings suppressed by justified allows.
+    pub suppressed: usize,
+}
+
+impl Report {
+    /// Whether the run should fail (any error-severity diagnostic).
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+}
+
+/// Runs the full lint pass rooted at `root` with `config`.
+pub fn run(root: &Path, config: &Config) -> Result<Report, String> {
+    let mut report = Report::default();
+    let mut seen_rel_paths: BTreeSet<PathBuf> = BTreeSet::new();
+
+    for file in discover(root, config)? {
+        let rel = file
+            .strip_prefix(root)
+            .map_err(|_| format!("{} escapes the root", file.display()))?
+            .to_path_buf();
+        seen_rel_paths.insert(rel.clone());
+        let source = std::fs::read_to_string(&file)
+            .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+        lint_source(&rel, &source, config, &mut report);
+        report.files_scanned += 1;
+    }
+
+    // A configured crate root that was never scanned is itself an L001
+    // violation: the forbid check cannot pass on a file it never saw.
+    for root_file in &config.crate_roots {
+        if !seen_rel_paths.contains(root_file) {
+            report.diagnostics.push(Diagnostic::new(
+                "L001",
+                Severity::Error,
+                root_file.clone(),
+                1,
+                1,
+                "configured crate root was not found under the scan directories".to_string(),
+            ));
+        }
+    }
+
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.code).cmp(&(&b.file, b.line, b.col, b.code)));
+    Ok(report)
+}
+
+/// Lints one file's source text into the report.  Split out (and public)
+/// so fixture tests can drive the engine on in-memory sources.
+pub fn lint_source(rel: &Path, source: &str, config: &Config, report: &mut Report) {
+    let lexed = lexer::lex(source);
+    let whole_file_test = rel.components().any(|c| c.as_os_str() == "tests");
+    let model = model::analyze(&lexed.tokens, whole_file_test);
+    let anns = annotations::parse(rel, &lexed.comments);
+
+    let hot_fns = resolve_hot_fns(rel, &model, &anns, config, report);
+
+    let ctx = FileContext {
+        rel_path: rel,
+        tokens: &lexed.tokens,
+        model: &model,
+        config,
+        hot_fns: &hot_fns,
+    };
+    let mut raw = Vec::new();
+    rules::check_all(&ctx, &mut raw);
+
+    // Malformed annotations are findings in their own right and cannot be
+    // suppressed.
+    report.diagnostics.extend(anns.malformed.iter().cloned());
+
+    let mut allow_used = vec![false; anns.allows.len()];
+    for diag in raw {
+        match anns.covering_allow(diag.code, diag.line) {
+            Some(idx) => {
+                allow_used[idx] = true;
+                report.suppressed += 1;
+            }
+            None => report.diagnostics.push(diag),
+        }
+    }
+    for (idx, used) in allow_used.iter().enumerate() {
+        if !used {
+            let allow = &anns.allows[idx];
+            report.diagnostics.push(Diagnostic::new(
+                "L000",
+                Severity::Warning,
+                rel.to_path_buf(),
+                allow.line,
+                allow.col,
+                format!(
+                    "allow({}) suppresses nothing on this or the next line; remove it",
+                    allow.code
+                ),
+            ));
+        }
+    }
+}
+
+/// Resolves the hot-function set for one file: config-listed qualified
+/// names plus in-source markers (a marker binds the first function declared
+/// within the next 8 lines).
+fn resolve_hot_fns(
+    rel: &Path,
+    model: &model::SourceModel,
+    anns: &Annotations,
+    config: &Config,
+    report: &mut Report,
+) -> Vec<usize> {
+    let mut hot: BTreeSet<usize> = BTreeSet::new();
+    for (idx, f) in model.fns.iter().enumerate() {
+        if config
+            .hot_functions
+            .iter()
+            .any(|h| *h == f.qualified || *h == f.name)
+        {
+            hot.insert(idx);
+        }
+    }
+    for marker in &anns.hot_markers {
+        let bound = model
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.decl_line > marker.line && f.decl_line <= marker.line + 8)
+            .min_by_key(|(_, f)| f.decl_line)
+            .map(|(idx, _)| idx);
+        match bound {
+            Some(idx) => {
+                hot.insert(idx);
+            }
+            None => report.diagnostics.push(Diagnostic::new(
+                "L004",
+                Severity::Warning,
+                rel.to_path_buf(),
+                marker.line,
+                1,
+                "hot marker does not precede a function within 8 lines".to_string(),
+            )),
+        }
+    }
+    hot.into_iter().collect()
+}
+
+/// Collects every `.rs` file under the configured scan directories,
+/// skipping excluded prefixes, in deterministic sorted order.
+fn discover(root: &Path, config: &Config) -> Result<Vec<PathBuf>, String> {
+    let mut files = Vec::new();
+    for dir in &config.scan {
+        let abs = root.join(dir);
+        if !abs.is_dir() {
+            return Err(format!(
+                "scan directory {} does not exist under {}",
+                dir.display(),
+                root.display()
+            ));
+        }
+        walk(root, &abs, config, &mut files)?;
+    }
+    files.sort();
+    files.dedup();
+    Ok(files)
+}
+
+fn walk(root: &Path, dir: &Path, config: &Config, files: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if let Ok(rel) = path.strip_prefix(root) {
+            if config.exclude.iter().any(|x| rel.starts_with(x)) {
+                continue;
+            }
+        }
+        if path.is_dir() {
+            walk(root, &path, config, files)?;
+        } else if path.extension().map(|e| e == "rs").unwrap_or(false) {
+            files.push(path);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,587 @@
+//! A small, exact Rust lexer for static analysis.
+//!
+//! The hermetic build environment has no `syn`, so `mint-lint` carries its
+//! own tokenizer.  It does not aim to lex every legal Rust program — it aims
+//! to *never misclassify* the constructs that make naive regex-based linting
+//! wrong:
+//!
+//! * **Raw strings** (`r"…"`, `r#"…"#` with any number of hashes, plus the
+//!   `b`/`br`/`c`/`cr` prefixes): their contents may contain `//`, `"` and
+//!   `/*` freely and must not terminate early or spawn phantom comments.
+//! * **Nested block comments**: `/* a /* b */ c */` is one comment.
+//! * **Char literals vs lifetimes**: `'a'` is a char, `'a` is a lifetime,
+//!   `'\''` and `'\u{1F600}'` are chars, `'static` is a lifetime.
+//! * **String-embedded comment markers**: `"http://x"` yields no comment.
+//! * **Raw identifiers**: `r#struct` is an identifier, not a raw string.
+//!
+//! Comments are captured on a side channel (they carry the suppression and
+//! hot-path annotations), never interleaved with the token stream.
+
+/// What a token is.  Only the distinctions the rules need are drawn;
+/// keywords are ordinary [`TokenKind::Ident`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (raw identifiers are unescaped: `r#fn` → `fn`).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (text excludes the quote).
+    Lifetime,
+    /// A character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// A string literal of any flavour; `raw` distinguishes `r"…"`-family
+    /// literals.  The text is the literal's *contents* (no quotes/hashes).
+    Str { raw: bool },
+    /// A numeric literal (integer or float, any base, with suffix).
+    Num,
+    /// A single punctuation character.  Multi-character operators arrive as
+    /// consecutive tokens (`::` is two `:`), which the rule matchers handle.
+    Punct,
+}
+
+/// One lexed token with its source position (1-based line and column; the
+/// column counts characters, matching what editors display).
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+
+    /// Whether this token is the punctuation character `ch`.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.chars().eq(std::iter::once(ch))
+    }
+}
+
+/// One comment (line or block) with its source position.  `text` is the raw
+/// comment including the `//` / `/*` markers.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+    pub block: bool,
+}
+
+/// The lexer's output: the token stream and the comment side channel.
+#[derive(Debug, Default)]
+pub struct LexOutput {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Lexer {
+    fn new(source: &str) -> Self {
+        Lexer {
+            chars: source.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consumes one character, tracking line/column.
+    fn bump(&mut self) -> Option<char> {
+        let ch = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if ch == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(ch)
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.chars.len()
+    }
+}
+
+fn is_ident_start(ch: char) -> bool {
+    ch.is_alphabetic() || ch == '_'
+}
+
+fn is_ident_continue(ch: char) -> bool {
+    ch.is_alphanumeric() || ch == '_'
+}
+
+/// Whether `word` is a valid string-literal prefix (`r"…"`, `b"…"`, `br#"…"#`,
+/// `c"…"`, …).  A prefix containing `r` introduces a *raw* literal.
+fn is_literal_prefix(word: &str) -> bool {
+    matches!(word, "r" | "b" | "br" | "c" | "cr")
+}
+
+/// Lexes `source` into tokens plus comments.  Never panics: malformed input
+/// (unterminated strings/comments) is consumed to end of file.
+pub fn lex(source: &str) -> LexOutput {
+    let mut lx = Lexer::new(source);
+    let mut out = LexOutput::default();
+
+    while !lx.at_end() {
+        let (line, col) = (lx.line, lx.col);
+        let ch = lx.peek(0).unwrap_or('\0');
+
+        if ch.is_whitespace() {
+            lx.bump();
+            continue;
+        }
+
+        // Comments (line, and block with nesting).
+        if ch == '/' && lx.peek(1) == Some('/') {
+            let mut text = String::new();
+            while let Some(c) = lx.peek(0) {
+                if c == '\n' {
+                    break;
+                }
+                text.push(c);
+                lx.bump();
+            }
+            out.comments.push(Comment {
+                text,
+                line,
+                col,
+                block: false,
+            });
+            continue;
+        }
+        if ch == '/' && lx.peek(1) == Some('*') {
+            let mut text = String::from("/*");
+            lx.bump();
+            lx.bump();
+            let mut depth = 1usize;
+            while depth > 0 && !lx.at_end() {
+                if lx.peek(0) == Some('/') && lx.peek(1) == Some('*') {
+                    depth += 1;
+                    text.push_str("/*");
+                    lx.bump();
+                    lx.bump();
+                } else if lx.peek(0) == Some('*') && lx.peek(1) == Some('/') {
+                    depth -= 1;
+                    text.push_str("*/");
+                    lx.bump();
+                    lx.bump();
+                } else if let Some(c) = lx.bump() {
+                    text.push(c);
+                }
+            }
+            out.comments.push(Comment {
+                text,
+                line,
+                col,
+                block: true,
+            });
+            continue;
+        }
+
+        // Cooked string literal.
+        if ch == '"' {
+            out.tokens.push(lex_cooked_string(&mut lx, line, col));
+            continue;
+        }
+
+        // Char literal or lifetime.
+        if ch == '\'' {
+            out.tokens.push(lex_quote(&mut lx, line, col));
+            continue;
+        }
+
+        // Identifier, keyword, literal prefix, or raw identifier.
+        if is_ident_start(ch) {
+            let mut word = String::new();
+            while let Some(c) = lx.peek(0) {
+                if is_ident_continue(c) {
+                    word.push(c);
+                    lx.bump();
+                } else {
+                    break;
+                }
+            }
+            if is_literal_prefix(&word) {
+                match lx.peek(0) {
+                    // `r"…"` / `b"…"` / `br"…"` / `c"…"` string literals.
+                    Some('"') => {
+                        let raw = word.contains('r');
+                        let token = if raw {
+                            lex_raw_string(&mut lx, 0, line, col)
+                        } else {
+                            lex_cooked_string(&mut lx, line, col)
+                        };
+                        out.tokens.push(token);
+                        continue;
+                    }
+                    // `r#"…"#`-family raw literal, or `r#ident` raw identifier.
+                    Some('#') if word.contains('r') => {
+                        let mut hashes = 0usize;
+                        while lx.peek(hashes) == Some('#') {
+                            hashes += 1;
+                        }
+                        if lx.peek(hashes) == Some('"') {
+                            for _ in 0..hashes {
+                                lx.bump();
+                            }
+                            out.tokens.push(lex_raw_string(&mut lx, hashes, line, col));
+                            continue;
+                        }
+                        // Raw identifier `r#struct`: token is the unescaped name.
+                        if word == "r"
+                            && hashes == 1
+                            && lx.peek(1).map(is_ident_start).unwrap_or(false)
+                        {
+                            lx.bump(); // '#'
+                            let mut name = String::new();
+                            while let Some(c) = lx.peek(0) {
+                                if is_ident_continue(c) {
+                                    name.push(c);
+                                    lx.bump();
+                                } else {
+                                    break;
+                                }
+                            }
+                            out.tokens.push(Token {
+                                kind: TokenKind::Ident,
+                                text: name,
+                                line,
+                                col,
+                            });
+                            continue;
+                        }
+                    }
+                    // `b'x'` byte literal.
+                    Some('\'') if word == "b" => {
+                        out.tokens.push(lex_quote(&mut lx, line, col));
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: word,
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Numeric literal.
+        if ch.is_ascii_digit() {
+            let mut text = String::new();
+            while let Some(c) = lx.peek(0) {
+                if is_ident_continue(c) {
+                    text.push(c);
+                    lx.bump();
+                } else {
+                    break;
+                }
+            }
+            // Fractional part — but not `0..10` ranges or `1.max(2)` calls.
+            if lx.peek(0) == Some('.') && lx.peek(1).map(|c| c.is_ascii_digit()).unwrap_or(false) {
+                text.push('.');
+                lx.bump();
+                while let Some(c) = lx.peek(0) {
+                    if is_ident_continue(c) {
+                        text.push(c);
+                        lx.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Num,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Everything else: single punctuation character.
+        lx.bump();
+        out.tokens.push(Token {
+            kind: TokenKind::Punct,
+            text: ch.to_string(),
+            line,
+            col,
+        });
+    }
+
+    out
+}
+
+/// Lexes a cooked (escape-processing) string literal from the opening quote.
+fn lex_cooked_string(lx: &mut Lexer, line: u32, col: u32) -> Token {
+    lx.bump(); // opening '"'
+    let mut text = String::new();
+    while let Some(c) = lx.bump() {
+        match c {
+            '\\' => {
+                // Keep the escape verbatim; only termination matters here.
+                text.push('\\');
+                if let Some(escaped) = lx.bump() {
+                    text.push(escaped);
+                }
+            }
+            '"' => break,
+            other => text.push(other),
+        }
+    }
+    Token {
+        kind: TokenKind::Str { raw: false },
+        text,
+        line,
+        col,
+    }
+}
+
+/// Lexes a raw string body from the opening quote; terminates at `"` followed
+/// by `hashes` hash characters.  No escape processing at all.
+fn lex_raw_string(lx: &mut Lexer, hashes: usize, line: u32, col: u32) -> Token {
+    lx.bump(); // opening '"'
+    let mut text = String::new();
+    while let Some(c) = lx.bump() {
+        if c == '"' {
+            let mut matched = 0usize;
+            while matched < hashes && lx.peek(matched) == Some('#') {
+                matched += 1;
+            }
+            if matched == hashes {
+                for _ in 0..hashes {
+                    lx.bump();
+                }
+                break;
+            }
+            text.push('"');
+        } else {
+            text.push(c);
+        }
+    }
+    Token {
+        kind: TokenKind::Str { raw: true },
+        text,
+        line,
+        col,
+    }
+}
+
+/// Disambiguates `'` into a char/byte literal or a lifetime.
+///
+/// Decision procedure at the quote:
+/// * `'\…'` — escape: always a char literal.
+/// * `'c'` (any single character followed by a closing quote) — char literal.
+///   This wins over the lifetime reading, so `'a'` is the char `a`.
+/// * `'ident…` with no closing quote after one character — lifetime.
+/// * anything else — a lone `'` punct (malformed source).
+fn lex_quote(lx: &mut Lexer, line: u32, col: u32) -> Token {
+    debug_assert_eq!(lx.peek(0), Some('\''));
+    let next = lx.peek(1);
+    let after = lx.peek(2);
+
+    if next == Some('\\') {
+        // Char literal with escape: consume to the closing quote, honouring
+        // `\u{…}` and `\'`.
+        lx.bump(); // '\''
+        let mut text = String::new();
+        lx.bump(); // '\\'
+        text.push('\\');
+        if let Some(first) = lx.bump() {
+            text.push(first);
+            if first == 'u' && lx.peek(0) == Some('{') {
+                while let Some(c) = lx.bump() {
+                    text.push(c);
+                    if c == '}' {
+                        break;
+                    }
+                }
+            }
+        }
+        if lx.peek(0) == Some('\'') {
+            lx.bump();
+        }
+        return Token {
+            kind: TokenKind::Char,
+            text,
+            line,
+            col,
+        };
+    }
+
+    if next.is_some() && after == Some('\'') {
+        // 'c' — char literal (covers alphabetic chars, so this test must
+        // come before the lifetime reading).
+        lx.bump(); // '\''
+        let c = lx.bump().unwrap_or('\0');
+        lx.bump(); // closing '\''
+        return Token {
+            kind: TokenKind::Char,
+            text: c.to_string(),
+            line,
+            col,
+        };
+    }
+
+    if next.map(is_ident_start).unwrap_or(false) {
+        // Lifetime: consume the identifier after the quote.
+        lx.bump(); // '\''
+        let mut name = String::new();
+        while let Some(c) = lx.peek(0) {
+            if is_ident_continue(c) {
+                name.push(c);
+                lx.bump();
+            } else {
+                break;
+            }
+        }
+        return Token {
+            kind: TokenKind::Lifetime,
+            text: name,
+            line,
+            col,
+        };
+    }
+
+    // Malformed: emit the quote as punctuation and move on.
+    lx.bump();
+    Token {
+        kind: TokenKind::Punct,
+        text: "'".to_string(),
+        line,
+        col,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn raw_strings_swallow_comment_markers() {
+        let out = lex(r####"let x = r#"no // comment "quoted" here"#; after"####);
+        assert!(out.comments.is_empty());
+        let strings: Vec<_> = out
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Str { raw: true }))
+            .collect();
+        assert_eq!(strings.len(), 1);
+        assert_eq!(strings[0].text, r#"no // comment "quoted" here"#);
+        assert!(idents(r####"let x = r#"// nope"#; after"####).contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_matching_depth() {
+        let out = lex("/* outer /* inner */ still */ code");
+        assert_eq!(out.comments.len(), 1);
+        assert!(out.comments[0].text.contains("inner"));
+        assert_eq!(idents("/* a /* b */ c */ code"), vec!["code"]);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_disambiguate() {
+        let out = lex("let c: char = 'a'; fn f<'a>(x: &'a str, s: &'static str) {}");
+        let chars: Vec<_> = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .map(|t| t.text.clone())
+            .collect();
+        let lifetimes: Vec<_> = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(chars, vec!["a"]);
+        assert_eq!(lifetimes, vec!["a", "a", "static"]);
+    }
+
+    #[test]
+    fn escaped_char_literals_lex_whole() {
+        let out = lex(r"['\n', '\'', '\\', '\u{1F600}', b'\t']");
+        let chars = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .count();
+        assert_eq!(chars, 5);
+    }
+
+    #[test]
+    fn string_embedded_slashes_are_not_comments() {
+        let out = lex(r#"let url = "http://example.com/a"; trailing"#);
+        assert!(out.comments.is_empty());
+        assert!(idents(r#"let u = "http://x"; t"#).contains(&"t".to_string()));
+    }
+
+    #[test]
+    fn raw_identifiers_unescape() {
+        assert_eq!(idents("let r#struct = 1;"), vec!["let", "struct"]);
+    }
+
+    #[test]
+    fn byte_and_c_strings_lex() {
+        let out = lex(r####"[b"bytes", br#"raw // bytes"#, c"c-str"]"####);
+        let strings = out
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Str { .. }))
+            .count();
+        assert_eq!(strings, 3);
+        assert!(out.comments.is_empty());
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let out = lex("a\n  bb\n");
+        assert_eq!(out.tokens[0].line, 1);
+        assert_eq!(out.tokens[0].col, 1);
+        assert_eq!(out.tokens[1].line, 2);
+        assert_eq!(out.tokens[1].col, 3);
+    }
+
+    #[test]
+    fn numbers_lex_as_units() {
+        let out = lex("let x = 1.25f64 + 0xff + 1_000; for i in 0..10 {} 1.max(2)");
+        let nums: Vec<_> = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Num)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, vec!["1.25f64", "0xff", "1_000", "0", "10", "1", "2"]);
+    }
+
+    #[test]
+    fn multiline_strings_keep_line_tracking() {
+        let out = lex("let s = \"line1\nline2\";\nnext");
+        let next = out.tokens.iter().find(|t| t.is_ident("next")).unwrap();
+        assert_eq!(next.line, 3);
+    }
+}

@@ -1,0 +1,27 @@
+//! `mint-lint` — a workspace static-analysis pass that enforces Mint's
+//! concurrency, determinism, and hot-path invariants at CI time.
+//!
+//! The hermetic build environment has no `syn`, so the crate carries its
+//! own small lexer ([`lexer`]) and item model ([`model`]), a suppression /
+//! hot-marker annotation layer ([`annotations`]), a `lint.toml` loader
+//! ([`config`]), and a rule engine ([`engine`]) running rules L001–L007
+//! ([`rules`]).
+//!
+//! Run it with `cargo run --release -p mint-lint` from the workspace root;
+//! exit status 0 means the workspace is clean (warnings may still print).
+//! Each rule's rationale lives in its module; the suppression convention
+//! is documented in [`annotations`] and in the README.
+
+#![forbid(unsafe_code)]
+
+pub mod annotations;
+pub mod config;
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod model;
+pub mod rules;
+
+pub use config::Config;
+pub use diag::{Diagnostic, Severity};
+pub use engine::{run, Report};

@@ -1,0 +1,114 @@
+//! CLI entry point.
+//!
+//! ```text
+//! mint-lint [--root DIR] [--config FILE]
+//! ```
+//!
+//! With no `--root`, walks upward from the current directory to the nearest
+//! `lint.toml` (so `cargo run -p mint-lint` works from anywhere inside the
+//! workspace).  Exit status: 0 clean, 1 violations found, 2 usage or I/O
+//! error.
+
+#![forbid(unsafe_code)]
+
+use mint_lint::{Config, Severity};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: Option<PathBuf>,
+    config: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        config: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                args.root = Some(PathBuf::from(
+                    it.next().ok_or("--root requires a directory argument")?,
+                ));
+            }
+            "--config" => {
+                args.config = Some(PathBuf::from(
+                    it.next().ok_or("--config requires a file argument")?,
+                ));
+            }
+            "--help" | "-h" => {
+                return Err("usage: mint-lint [--root DIR] [--config FILE]".to_string());
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+/// Walks upward from the current directory to the nearest `lint.toml`.
+fn find_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    loop {
+        if dir.join("lint.toml").is_file() {
+            return Ok(dir);
+        }
+        if !dir.pop() {
+            return Err(
+                "no lint.toml found walking up from the current directory; pass --root".to_string(),
+            );
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match args.root.map(Ok).unwrap_or_else(find_root) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("mint-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let config_path = args.config.unwrap_or_else(|| root.join("lint.toml"));
+    let config = match Config::load(&config_path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("mint-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match mint_lint::run(&root, &config) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("mint-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for diag in &report.diagnostics {
+        println!("{diag}");
+    }
+    let errors = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = report.diagnostics.len() - errors;
+    println!(
+        "mint-lint: {} files scanned, {} errors, {} warnings, {} findings suppressed by justified allows",
+        report.files_scanned, errors, warnings, report.suppressed
+    );
+    if report.has_errors() {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

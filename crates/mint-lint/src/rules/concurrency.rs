@@ -1,0 +1,72 @@
+//! L002 — no unbounded `mpsc::channel` in driver code.
+//! L006 — no `Mutex`/`RwLock` on the snapshot/query publication path.
+//!
+//! L002 guards the bounded-queue backpressure design: an unbounded channel
+//! between the streaming driver and its shard workers hides overload as
+//! unbounded memory growth instead of surfacing it as send-side pressure.
+//! Driver code must use `mpsc::sync_channel` with an explicit bound.
+//!
+//! L006 guards the RCU publication invariant: the query path reads
+//! snapshots through an atomic version + slot swap, never by taking a lock
+//! a writer could be holding.  Any `Mutex`/`RwLock` appearing in the
+//! publication modules needs an explicit justification (the single
+//! sanctioned case is the writer-side slot swap, which readers never
+//! contend on).
+
+use super::{is_path, path_matches, FileContext};
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::TokenKind;
+
+pub fn check(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+    check_channels(ctx, out);
+    check_locks(ctx, out);
+}
+
+fn check_channels(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+    if !path_matches(ctx.rel_path, &ctx.config.channel_paths) {
+        return;
+    }
+    for i in 0..ctx.tokens.len() {
+        if ctx.model.in_test[i] {
+            continue;
+        }
+        if is_path(ctx.tokens, i, &["mpsc", "channel"]) {
+            let t = &ctx.tokens[i];
+            out.push(Diagnostic::new(
+                "L002",
+                Severity::Error,
+                ctx.rel_path.to_path_buf(),
+                t.line,
+                t.col,
+                "unbounded `mpsc::channel` in driver code; backpressure requires \
+                 `mpsc::sync_channel` with an explicit bound"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+fn check_locks(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+    if !path_matches(ctx.rel_path, &ctx.config.rcu_paths) {
+        return;
+    }
+    for (i, t) in ctx.tokens.iter().enumerate() {
+        if ctx.model.in_test[i] || t.kind != TokenKind::Ident {
+            continue;
+        }
+        if t.text == "Mutex" || t.text == "RwLock" {
+            out.push(Diagnostic::new(
+                "L006",
+                Severity::Error,
+                ctx.rel_path.to_path_buf(),
+                t.line,
+                t.col,
+                format!(
+                    "`{}` on the snapshot publication path; queries must read \
+                     via the lock-free RCU snapshot swap",
+                    t.text
+                ),
+            ));
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! L005 — no ambient time or randomness in deterministic modules.
+//!
+//! Sampling decisions, fault injection, and merge behaviour must be pure
+//! functions of the configured seed so every run (and every equivalence
+//! check against the baseline) replays identically.  Wall-clock reads and
+//! entropy-seeded RNGs break replay in ways no test reliably catches.
+//!
+//! Banned in configured paths: `SystemTime::now`, `Instant::now`,
+//! `thread_rng`, `from_entropy`.
+
+use super::{is_path, path_matches, FileContext};
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::TokenKind;
+
+pub fn check(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+    if !path_matches(ctx.rel_path, &ctx.config.deterministic_paths) {
+        return;
+    }
+    for (i, t) in ctx.tokens.iter().enumerate() {
+        if ctx.model.in_test[i] || t.kind != TokenKind::Ident {
+            continue;
+        }
+        let offense = if is_path(ctx.tokens, i, &["SystemTime", "now"]) {
+            Some("`SystemTime::now` reads the wall clock")
+        } else if is_path(ctx.tokens, i, &["Instant", "now"]) {
+            Some("`Instant::now` reads the monotonic clock")
+        } else if t.text == "thread_rng" {
+            Some("`thread_rng` draws ambient entropy")
+        } else if t.text == "from_entropy" {
+            Some("`from_entropy` seeds from the OS")
+        } else {
+            None
+        };
+        if let Some(why) = offense {
+            out.push(Diagnostic::new(
+                "L005",
+                Severity::Error,
+                ctx.rel_path.to_path_buf(),
+                t.line,
+                t.col,
+                format!("{why}; deterministic modules must derive everything from the seed"),
+            ));
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! L007 — no truncating float format specifiers in bench JSON writers.
+//!
+//! `{:.6}`-style precision renders `NaN` as the bare token `NaN` (invalid
+//! JSON) and silently rounds measured values, so two runs that differ in
+//! the 7th digit compare equal.  Bench JSON must render floats with the
+//! shortest round-trip form (`{value}`) and map non-finite values to
+//! `null`.
+
+use super::{path_matches, FileContext};
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::TokenKind;
+
+pub fn check(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+    if !path_matches(ctx.rel_path, &ctx.config.bench_json_paths) {
+        return;
+    }
+    for (i, t) in ctx.tokens.iter().enumerate() {
+        if ctx.model.in_test[i] {
+            continue;
+        }
+        if !matches!(t.kind, TokenKind::Str { .. }) {
+            continue;
+        }
+        if has_truncating_spec(&t.text) {
+            out.push(Diagnostic::new(
+                "L007",
+                Severity::Error,
+                ctx.rel_path.to_path_buf(),
+                t.line,
+                t.col,
+                "format string uses a truncating precision specifier (`{:.N}`); \
+                 bench JSON must render floats at full round-trip precision \
+                 and map non-finite values to `null`"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// Detects a `{…:.…}` precision specifier inside a format string, skipping
+/// `{{`/`}}` escapes.
+fn has_truncating_spec(text: &str) -> bool {
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        if chars[i] == '{' {
+            if chars.get(i + 1) == Some(&'{') {
+                i += 2;
+                continue;
+            }
+            // Scan the argument segment up to the matching `}`.
+            let mut j = i + 1;
+            let mut saw_colon = false;
+            while j < chars.len() && chars[j] != '}' {
+                if chars[j] == ':' {
+                    saw_colon = true;
+                } else if chars[j] == '.' && saw_colon {
+                    return true;
+                }
+                j += 1;
+            }
+            i = j + 1;
+            continue;
+        }
+        if chars[i] == '}' && chars.get(i + 1) == Some(&'}') {
+            i += 2;
+            continue;
+        }
+        i += 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::has_truncating_spec;
+
+    #[test]
+    fn detects_precision_specs() {
+        assert!(has_truncating_spec("rate: {:.6},"));
+        assert!(has_truncating_spec("{name:.3}"));
+        assert!(has_truncating_spec("{:>8.2}"));
+        assert!(has_truncating_spec("{:.prec$}"));
+    }
+
+    #[test]
+    fn passes_clean_strings() {
+        assert!(!has_truncating_spec("value: {value}"));
+        assert!(!has_truncating_spec("{{literal brace}} x.y"));
+        assert!(!has_truncating_spec("no format at all . : "));
+        assert!(!has_truncating_spec("{:>8}"));
+    }
+}

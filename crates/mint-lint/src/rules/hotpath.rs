@@ -1,0 +1,58 @@
+//! L004 — hot-path functions must stay allocation- and format-free.
+//!
+//! The ingest hot path (tokenize / LCS / template match / span parse) earns
+//! its throughput by reusing caller-provided buffers; a single `format!` or
+//! `.clone()` re-introduces a per-span allocation and silently erodes the
+//! measured win.  The hot set is declared in `lint.toml` (qualified names)
+//! or by a marker comment directly above the function.
+//!
+//! Banned inside a hot body: `format!`, `.to_string()`, `String::from`,
+//! `Vec::new`, `.clone()`.
+
+use super::{is_path, method_call, FileContext};
+use crate::diag::{Diagnostic, Severity};
+
+pub fn check(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+    for &fn_idx in ctx.hot_fns {
+        let info = &ctx.model.fns[fn_idx];
+        let body = info.body.clone();
+        for i in body.clone() {
+            let t = &ctx.tokens[i];
+
+            let found: Option<(&str, &crate::lexer::Token)> = if t.is_ident("format")
+                && ctx
+                    .tokens
+                    .get(i + 1)
+                    .map(|n| n.is_punct('!'))
+                    .unwrap_or(false)
+            {
+                Some(("`format!` allocates a fresh String", t))
+            } else if let Some(at) = method_call(ctx.tokens, i, "to_string") {
+                Some(("`.to_string()` allocates", &ctx.tokens[at]))
+            } else if let Some(at) = method_call(ctx.tokens, i, "clone") {
+                Some(("`.clone()` deep-copies", &ctx.tokens[at]))
+            } else if is_path(ctx.tokens, i, &["String", "from"]) {
+                Some(("`String::from` allocates", t))
+            } else if is_path(ctx.tokens, i, &["Vec", "new"]) {
+                Some(("`Vec::new` defeats buffer reuse", t))
+            } else {
+                None
+            };
+
+            if let Some((why, tok)) = found {
+                out.push(Diagnostic::new(
+                    "L004",
+                    Severity::Error,
+                    ctx.rel_path.to_path_buf(),
+                    tok.line,
+                    tok.col,
+                    format!(
+                        "{why} inside hot-path function `{}`; reuse a \
+                         caller-provided buffer instead",
+                        info.qualified
+                    ),
+                ));
+            }
+        }
+    }
+}

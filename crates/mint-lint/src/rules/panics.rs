@@ -1,0 +1,38 @@
+//! L003 — no `.unwrap()` / `.expect()` in non-test library code of the
+//! configured paths (the `mint-core` library).
+//!
+//! Shard workers run library code on background threads; a panic there
+//! surfaces as an opaque hang or a poisoned lock far from the cause.
+//! Library code must either propagate a contextual error or carry a
+//! justified suppression explaining why the panic is unreachable.
+
+use super::{method_call, path_matches, FileContext};
+use crate::diag::{Diagnostic, Severity};
+
+pub fn check(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+    if !path_matches(ctx.rel_path, &ctx.config.panic_paths) {
+        return;
+    }
+    for i in 0..ctx.tokens.len() {
+        for name in ["unwrap", "expect"] {
+            let Some(at) = method_call(ctx.tokens, i, name) else {
+                continue;
+            };
+            if ctx.model.in_test[at] {
+                continue;
+            }
+            let t = &ctx.tokens[at];
+            out.push(Diagnostic::new(
+                "L003",
+                Severity::Error,
+                ctx.rel_path.to_path_buf(),
+                t.line,
+                t.col,
+                format!(
+                    "`.{name}()` in non-test library code; propagate a contextual \
+                     error instead (worker panics surface as opaque hangs)"
+                ),
+            ));
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! L001 — every configured crate root must carry `#![forbid(unsafe_code)]`.
+//!
+//! The whole workspace is written in safe Rust; a crate that silently drops
+//! the forbid attribute re-opens the door without review.  The engine
+//! separately reports configured roots that were never scanned at all, so a
+//! renamed crate cannot dodge the rule.
+
+use super::FileContext;
+use crate::diag::{Diagnostic, Severity};
+
+pub fn check(ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+    if !ctx
+        .config
+        .crate_roots
+        .iter()
+        .any(|root| ctx.rel_path == root)
+    {
+        return;
+    }
+    if has_forbid_unsafe(ctx.tokens) {
+        return;
+    }
+    out.push(Diagnostic::new(
+        "L001",
+        Severity::Error,
+        ctx.rel_path.to_path_buf(),
+        1,
+        1,
+        "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+    ));
+}
+
+/// Looks for the token sequence `# ! [ forbid ( unsafe_code ) ]`.
+fn has_forbid_unsafe(tokens: &[crate::lexer::Token]) -> bool {
+    tokens.windows(8).any(|w| {
+        w[0].is_punct('#')
+            && w[1].is_punct('!')
+            && w[2].is_punct('[')
+            && w[3].is_ident("forbid")
+            && w[4].is_punct('(')
+            && w[5].is_ident("unsafe_code")
+            && w[6].is_punct(')')
+            && w[7].is_punct(']')
+    })
+}

@@ -1,0 +1,20 @@
+fn library_code() {
+    library_marker();
+}
+
+#[cfg(not(test))]
+fn not_test_gated() {
+    not_test_marker();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn a_test() {
+        test_marker();
+    }
+
+    fn test_helper() {
+        helper_marker();
+    }
+}

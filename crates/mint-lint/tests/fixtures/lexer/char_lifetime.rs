@@ -1,0 +1,11 @@
+fn chars_and_lifetimes<'a, 'b: 'a>(x: &'a str, y: &'b str, z: &'static str) -> char {
+    let quote = '\'';
+    let backslash = '\\';
+    let newline = '\n';
+    let unicode = '\u{1F600}';
+    let plain = 'q';
+    let alphabetic = 'a';
+    let byte = b'x';
+    let done = 0;
+    plain
+}

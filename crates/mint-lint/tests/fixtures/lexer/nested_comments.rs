@@ -1,0 +1,8 @@
+/* level one /* level two /* level three */ back to two */ back to one */
+fn after_nested() {
+    let visible = 1;
+    /* a comment with a // line marker inside */
+    let also_visible = 2;
+    /* unbalanced-looking quote " inside a comment */
+    let still_visible = 3;
+}

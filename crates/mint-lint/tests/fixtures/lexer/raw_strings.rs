@@ -1,0 +1,17 @@
+// Raw-string torture test: nothing inside the literals below may terminate
+// early, spawn a comment, or hide the `sentinel_after_*` identifiers.
+
+fn raw_strings() {
+    let plain = r"no escapes \n here // not a comment";
+    let sentinel_after_plain = 1;
+    let hashed = r#"quotes " inside // still one string"#;
+    let sentinel_after_hashed = 2;
+    let double = r##"ends with "# but not here: "##;
+    let sentinel_after_double = 3;
+    let bytes = br#"byte raw // also fine"#;
+    let sentinel_after_bytes = 4;
+    let c_str = c"c string with // slashes";
+    let sentinel_after_c = 5;
+    let raw_ident = r#match;
+    let sentinel_after_ident = 6;
+}

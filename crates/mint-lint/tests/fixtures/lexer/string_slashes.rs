@@ -1,0 +1,8 @@
+fn urls() {
+    let url = "http://example.com/path";
+    let after_url = 1;
+    let doubled = "a // b /* c */ d";
+    let after_doubled = 2;
+    let escaped = "quote \" then // more";
+    let after_escaped = 3;
+}

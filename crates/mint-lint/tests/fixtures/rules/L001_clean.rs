@@ -1,0 +1,5 @@
+//! A crate root carrying the forbid attribute.
+
+#![forbid(unsafe_code)]
+
+pub fn exported() {}

@@ -1,0 +1,3 @@
+//! A crate root that forgot the forbid attribute.
+
+pub fn exported() {}

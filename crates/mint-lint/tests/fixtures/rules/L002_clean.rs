@@ -1,0 +1,13 @@
+use std::sync::mpsc;
+
+fn spawn_driver() {
+    let (tx, rx) = mpsc::sync_channel::<u64>(8);
+    drop((tx, rx));
+
+    #[cfg(test)]
+    fn test_only() {
+        // Unbounded is tolerated inside test scopes.
+        let (tx, rx) = mpsc::channel::<u64>();
+        drop((tx, rx));
+    }
+}

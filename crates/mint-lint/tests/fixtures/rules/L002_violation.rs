@@ -1,0 +1,6 @@
+use std::sync::mpsc;
+
+fn spawn_driver() {
+    let (tx, rx) = mpsc::channel::<u64>();
+    drop((tx, rx));
+}

@@ -1,0 +1,11 @@
+fn library(input: Option<u32>) -> Result<u32, String> {
+    input.ok_or_else(|| "missing input".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(super::library(Some(3)).unwrap(), 3);
+    }
+}

@@ -1,0 +1,9 @@
+fn library(input: Option<u32>) -> u32 {
+    let a = input.unwrap();
+    let b = compute().expect("compute failed");
+    a + b
+}
+
+fn compute() -> Option<u32> {
+    Some(1)
+}

@@ -1,0 +1,12 @@
+// mint-lint: hot
+fn hot_tokenize<'a>(value: &'a str, out: &mut Vec<&'a str>) {
+    out.clear();
+    for token in value.split(' ') {
+        out.push(token);
+    }
+}
+
+fn cold_helper(value: &str) -> String {
+    // Not in the hot set: allocation is fine here.
+    format!("cold: {}", value.to_string())
+}

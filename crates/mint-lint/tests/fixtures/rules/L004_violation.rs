@@ -1,0 +1,11 @@
+// mint-lint: hot
+fn hot_tokenize(value: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for token in value.split(' ') {
+        out.push(token.to_string());
+    }
+    out.push(format!("{}", value.len()));
+    out.push(String::from("tail"));
+    out.push(out[0].clone());
+    out
+}

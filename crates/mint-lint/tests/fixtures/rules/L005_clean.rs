@@ -1,0 +1,5 @@
+fn sample_decision(seed: u64, counter: u64) -> bool {
+    // All randomness derives from the configured seed.
+    let mixed = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17) ^ counter;
+    mixed & 1 == 0
+}

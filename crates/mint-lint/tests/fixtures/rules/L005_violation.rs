@@ -1,0 +1,9 @@
+use std::time::{Instant, SystemTime};
+
+fn sample_decision() -> bool {
+    let now = SystemTime::now();
+    let t = Instant::now();
+    let r = thread_rng();
+    drop((now, t, r));
+    true
+}

@@ -1,0 +1,11 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct Publication {
+    version: AtomicU64,
+    snapshot: Arc<u64>,
+}
+
+fn read(p: &Publication) -> u64 {
+    p.version.load(Ordering::Acquire)
+}

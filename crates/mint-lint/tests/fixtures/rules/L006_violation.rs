@@ -1,0 +1,6 @@
+use std::sync::{Mutex, RwLock};
+
+struct Publication {
+    slot: Mutex<u64>,
+    readers: RwLock<u64>,
+}

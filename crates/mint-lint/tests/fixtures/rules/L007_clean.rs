@@ -1,0 +1,7 @@
+fn render(rate: f64) -> String {
+    if rate.is_finite() {
+        format!("\"capture_rate\": {rate},")
+    } else {
+        "\"capture_rate\": null,".to_string()
+    }
+}

@@ -1,0 +1,3 @@
+fn render(rate: f64) -> String {
+    format!("\"capture_rate\": {:.6},", rate)
+}

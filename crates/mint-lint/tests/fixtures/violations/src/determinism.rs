@@ -1,0 +1,8 @@
+//! Ambient time and entropy in a deterministic module (L005).
+
+use std::time::Instant;
+
+pub fn jitter() -> u64 {
+    let t = Instant::now();
+    t.elapsed().subsec_nanos() as u64
+}

@@ -1,0 +1,20 @@
+//! Unbounded channel in driver code (L002) and a hot function that
+//! allocates (L004).
+
+use std::sync::mpsc;
+
+pub fn spawn_pipeline() {
+    let (tx, rx) = mpsc::channel::<u64>();
+    drop((tx, rx));
+}
+
+// mint-lint: hot
+pub fn marked_hot(value: &str) -> String {
+    format!("hot: {value}")
+}
+
+pub fn listed_hot(values: &[u32]) -> Vec<u32> {
+    let mut out = Vec::new();
+    out.extend_from_slice(values);
+    out
+}

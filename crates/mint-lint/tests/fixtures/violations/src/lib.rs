@@ -1,0 +1,13 @@
+//! Violation fixture crate root: missing `#![forbid(unsafe_code)]`
+//! (L001), panicking library code (L003), and a bare suppression with no
+//! justification (L000).
+
+mod determinism;
+mod driver;
+mod publication;
+mod writer;
+
+pub fn lookup(table: Option<u32>) -> u32 {
+    // mint-lint: allow(L003)
+    table.unwrap()
+}

@@ -1,0 +1,7 @@
+//! A lock on the publication path (L006).
+
+use std::sync::Mutex;
+
+pub struct Publication {
+    pub slot: Mutex<u64>,
+}

@@ -1,0 +1,5 @@
+//! A truncating float specifier in a JSON writer (L007).
+
+pub fn render(rate: f64) -> String {
+    format!("\"rate\": {:.6}", rate)
+}

@@ -1,0 +1,115 @@
+//! Lexer fixture tests: the files under `tests/fixtures/lexer/` hold the
+//! constructs that make naive text-based linting wrong; these tests pin
+//! that the lexer classifies every one of them correctly.
+
+use mint_lint::lexer::{self, TokenKind};
+use mint_lint::model;
+use std::path::Path;
+
+fn lex_fixture(name: &str) -> lexer::LexOutput {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/lexer")
+        .join(name);
+    let source = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    lexer::lex(&source)
+}
+
+fn ident_texts(out: &lexer::LexOutput) -> Vec<&str> {
+    out.tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text.as_str())
+        .collect()
+}
+
+#[test]
+fn raw_strings_never_spawn_comments_or_eat_code() {
+    let out = lex_fixture("raw_strings.rs");
+    // The two leading line comments are the only comments in the file.
+    assert_eq!(out.comments.len(), 2);
+    let idents = ident_texts(&out);
+    for sentinel in [
+        "sentinel_after_plain",
+        "sentinel_after_hashed",
+        "sentinel_after_double",
+        "sentinel_after_bytes",
+        "sentinel_after_c",
+        "sentinel_after_ident",
+    ] {
+        assert!(idents.contains(&sentinel), "lost {sentinel}");
+    }
+    // The raw identifier `r#match` arrives unescaped.
+    assert!(idents.contains(&"match"));
+    let raw_strings = out
+        .tokens
+        .iter()
+        .filter(|t| matches!(t.kind, TokenKind::Str { raw: true }))
+        .count();
+    assert_eq!(raw_strings, 4, "r, r#, r##, br# literals");
+}
+
+#[test]
+fn nested_block_comments_terminate_at_matching_depth() {
+    let out = lex_fixture("nested_comments.rs");
+    assert_eq!(out.comments.len(), 3);
+    assert!(out.comments[0].text.contains("level three"));
+    assert!(out.comments[0].text.ends_with("back to one */"));
+    let idents = ident_texts(&out);
+    for sentinel in ["visible", "also_visible", "still_visible"] {
+        assert!(idents.contains(&sentinel), "lost {sentinel}");
+    }
+}
+
+#[test]
+fn char_literals_do_not_read_as_lifetimes() {
+    let out = lex_fixture("char_lifetime.rs");
+    let chars: Vec<&str> = out
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Char)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(
+        chars.len(),
+        7,
+        "quote, backslash, newline, unicode, q, a, byte x"
+    );
+    assert!(chars.contains(&"a"), "'a' is a char, not a lifetime");
+    let lifetimes: Vec<&str> = out
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Lifetime)
+        .map(|t| t.text.as_str())
+        .collect();
+    // <'a, 'b: 'a> plus &'a, &'b, &'static.
+    assert_eq!(lifetimes, vec!["a", "b", "a", "a", "b", "static"]);
+    assert!(ident_texts(&out).contains(&"done"));
+}
+
+#[test]
+fn string_embedded_slashes_are_not_comments() {
+    let out = lex_fixture("string_slashes.rs");
+    assert!(out.comments.is_empty());
+    let idents = ident_texts(&out);
+    for sentinel in ["after_url", "after_doubled", "after_escaped"] {
+        assert!(idents.contains(&sentinel), "lost {sentinel}");
+    }
+}
+
+#[test]
+fn cfg_test_scoping_is_exact() {
+    let out = lex_fixture("cfg_test_scope.rs");
+    let model = model::analyze(&out.tokens, false);
+    let position = |name: &str| {
+        out.tokens
+            .iter()
+            .position(|t| t.is_ident(name))
+            .unwrap_or_else(|| panic!("no ident {name}"))
+    };
+    assert!(!model.in_test[position("library_marker")]);
+    // `#[cfg(not(test))]` is NOT test scope: rules still apply there.
+    assert!(!model.in_test[position("not_test_marker")]);
+    assert!(model.in_test[position("test_marker")]);
+    assert!(model.in_test[position("helper_marker")]);
+}

@@ -1,0 +1,45 @@
+//! End-to-end test over the violation fixture workspace: the same tree CI
+//! points the binary at must produce every lint code and an error report,
+//! proving a silently-broken analyzer cannot go green.
+
+use mint_lint::Config;
+use std::path::Path;
+
+#[test]
+fn violation_workspace_trips_every_rule() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/violations");
+    let config = Config::load(&root.join("lint.toml")).expect("fixture lint.toml loads");
+    let report = mint_lint::run(&root, &config).expect("engine runs");
+    assert!(report.has_errors());
+
+    let codes: std::collections::BTreeSet<&str> =
+        report.diagnostics.iter().map(|d| d.code).collect();
+    for expected in [
+        "L000", "L001", "L002", "L003", "L004", "L005", "L006", "L007",
+    ] {
+        assert!(
+            codes.contains(expected),
+            "{expected} did not fire; got {codes:?}"
+        );
+    }
+}
+
+#[test]
+fn missing_crate_root_is_reported() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/violations");
+    let config = Config::from_toml(
+        r#"
+        [workspace]
+        scan = ["src"]
+
+        [rules.L001]
+        crate_roots = ["src/lib.rs", "src/renamed_away.rs"]
+        "#,
+    )
+    .expect("config parses");
+    let report = mint_lint::run(&root, &config).expect("engine runs");
+    assert!(report
+        .diagnostics
+        .iter()
+        .any(|d| { d.code == "L001" && d.file == Path::new("src/renamed_away.rs") }));
+}

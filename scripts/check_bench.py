@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Schema validator for the BENCH_*.json trajectory documents.
+
+Usage: check_bench.py <ingest|query|chaos> <path>
+
+One validator replaces the three inline-Python checks CI used to carry, and
+runs against both the freshly generated smoke documents and the committed
+root trajectories (so a stale checked-in BENCH file fails CI).
+
+Every document is parsed with `parse_constant` set to fail: the JSON spec
+has no NaN/Infinity, and a bench writer that truncates or passes non-finite
+floats through produced exactly that bug once (see lint rule L007).
+"""
+
+import json
+import sys
+
+
+def fail(message):
+    sys.exit(f"check_bench: {message}")
+
+
+def reject_constant(token):
+    fail(f"non-finite JSON constant {token!r} (bench writers must emit null)")
+
+
+def load(path):
+    try:
+        with open(path) as handle:
+            return json.load(handle, parse_constant=reject_constant)
+    except OSError as err:
+        fail(f"cannot read {path}: {err}")
+    except json.JSONDecodeError as err:
+        fail(f"{path} is not valid JSON: {err}")
+
+
+def expect_schema(doc, path, want):
+    got = doc.get("schema")
+    if got != want:
+        fail(f"{path}: schema is {got!r}, expected {want!r}")
+
+
+def check_ingest(doc, path):
+    expect_schema(doc, path, "mint-ingest-v1")
+    phases = doc["profile"]["phases"]
+    if not phases:
+        fail(f"{path}: empty phase map")
+    for name, phase in phases.items():
+        for key in ("before_ns_per_span", "after_ns_per_span", "reduction_pct"):
+            if key not in phase:
+                fail(f"{path}: phase {name!r} is missing {key!r}")
+    if "serial_ns_per_span" not in doc["profile"]["pipeline"]:
+        fail(f"{path}: pipeline is missing 'serial_ns_per_span'")
+    print(f"{path} OK: {len(phases)} phases")
+
+
+def check_query(doc, path):
+    expect_schema(doc, path, "mint-query-v1")
+    threads = doc["query_loadtest"]["threads"]
+    if not threads:
+        fail(f"{path}: empty thread map")
+    for count, entry in threads.items():
+        if not entry.get("query_p99_us", 0) > 0:
+            fail(f"{path}: threads={count} has non-positive query_p99_us")
+        if not entry.get("ingest_traces_per_s", 0) > 0:
+            fail(f"{path}: threads={count} has non-positive ingest_traces_per_s")
+    if not doc["query_loadtest"]["baseline"].get("ingest_traces_per_s", 0) > 0:
+        fail(f"{path}: baseline has non-positive ingest_traces_per_s")
+    print(f"{path} OK: {len(threads)} thread counts")
+
+
+def check_chaos(doc, path):
+    expect_schema(doc, path, "mint-chaos-v1")
+    scenarios = doc["scenarios"]
+    if not isinstance(scenarios, list) or not scenarios:
+        fail(f"{path}: empty scenario list")
+    for index, scenario in enumerate(scenarios):
+        for key in ("mint_capture_rate", "rca"):
+            if key not in scenario:
+                fail(f"{path}: scenario #{index} is missing {key!r}")
+    print(f"{path} OK: {len(scenarios)} scenarios")
+
+
+CHECKS = {"ingest": check_ingest, "query": check_query, "chaos": check_chaos}
+
+
+def main():
+    if len(sys.argv) != 3 or sys.argv[1] not in CHECKS:
+        fail(f"usage: check_bench.py <{'|'.join(CHECKS)}> <path>")
+    kind, path = sys.argv[1], sys.argv[2]
+    doc = load(path)
+    try:
+        CHECKS[kind](doc, path)
+    except (KeyError, TypeError, AttributeError) as err:
+        fail(f"{path}: malformed {kind} document ({err!r})")
+
+
+if __name__ == "__main__":
+    main()
