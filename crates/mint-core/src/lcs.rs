@@ -12,6 +12,7 @@
 //! thread-local scratch buffer reused across calls instead of two `vec!`
 //! allocations per comparison.
 
+use crate::intern::{UNKNOWN_ID, WILDCARD_ID};
 use std::cell::RefCell;
 
 thread_local! {
@@ -20,6 +21,16 @@ thread_local! {
     /// buffers grow to the longest token sequence seen and stay there.
     static LCS_SCRATCH: RefCell<(Vec<usize>, Vec<usize>)> =
         const { RefCell::new((Vec::new(), Vec::new())) };
+
+    /// Scratch for the standalone bit-parallel LCS over arbitrary ids.
+    static IDS_SCRATCH: RefCell<IdLcsScratch> = RefCell::new(IdLcsScratch::default());
+}
+
+#[derive(Default)]
+struct IdLcsScratch {
+    symbols: Vec<u32>,
+    masks: Vec<u64>,
+    v: Vec<u64>,
 }
 
 /// Runs `f` with the thread-local LCS scratch rows, cleared and resized to
@@ -152,12 +163,290 @@ where
     lcs_length(a, b) as f64 / denom as f64
 }
 
+/// One step of the Allison–Dix bit-vector LCS recurrence,
+/// `V' = ((V + (V & M)) | (V & ¬M))`, over a multi-word vector with manual
+/// carry propagation; the caller masks the top word afterwards.
+#[inline]
+fn bitpar_step(v: &mut [u64], mask: &[u64]) {
+    let mut carry = 0u64;
+    for (vw, &mw) in v.iter_mut().zip(mask) {
+        let old = *vw;
+        let keep = old & !mw;
+        let (s1, c1) = old.overflowing_add(old & mw);
+        let (s2, c2) = s1.overflowing_add(carry);
+        carry = (c1 | c2) as u64;
+        *vw = s2 | keep;
+    }
+}
+
+/// Bit-parallel LCS state for scoring one interned value against many
+/// templates: a dense per-symbol mask table over the value's token positions
+/// plus the reusable column vector.
+///
+/// [`TokenMaskTable::build`] loads a value once (`O(m)` with generation-
+/// stamped lazy clearing — no per-value table memset); [`TokenMaskTable::llcs`]
+/// then scores each template in `O(⌈m/64⌉ · n)` word operations using the
+/// Allison–Dix recurrence, where a [`WILDCARD_ID`] template token uses the
+/// all-ones mask (a variable slot matches any single token) and an
+/// out-of-vocabulary value token sets no mask bit (it can only pair with a
+/// wildcard).  Safe Rust throughout; owned by a thread-local in the parser.
+#[derive(Debug, Default)]
+pub struct TokenMaskTable {
+    words: usize,
+    value_len: usize,
+    generation: u64,
+    stamps: Vec<u64>,
+    masks: Vec<u64>,
+    all_ones: Vec<u64>,
+    zeros: Vec<u64>,
+    v: Vec<u64>,
+}
+
+impl TokenMaskTable {
+    /// Creates an empty table (equivalent to `Default`).
+    pub fn new() -> Self {
+        TokenMaskTable::default()
+    }
+
+    /// Number of tokens in the currently loaded value.
+    pub fn value_len(&self) -> usize {
+        self.value_len
+    }
+
+    /// Loads an interned value: builds one position mask per distinct known
+    /// symbol id.  `vocab` must cover every non-reserved id (use
+    /// `Interner::vocab_size`); ids at or beyond it are treated as unknown.
+    // mint-lint: hot
+    pub fn build(&mut self, ids: &[u32], vocab: usize) {
+        let m = ids.len();
+        self.value_len = m;
+        self.words = m.div_ceil(64);
+        self.generation += 1;
+        if self.stamps.len() < vocab {
+            self.stamps.resize(vocab, 0);
+        }
+        let slots = self.stamps.len() * self.words;
+        if self.masks.len() < slots {
+            self.masks.resize(slots, 0);
+        }
+        self.all_ones.clear();
+        self.all_ones.resize(self.words, u64::MAX);
+        if !m.is_multiple_of(64) {
+            if let Some(last) = self.all_ones.last_mut() {
+                *last = (1u64 << (m % 64)) - 1;
+            }
+        }
+        self.zeros.clear();
+        self.zeros.resize(self.words, 0);
+        for (pos, &id) in ids.iter().enumerate() {
+            let slot = id as usize;
+            if id == UNKNOWN_ID || slot >= self.stamps.len() {
+                continue;
+            }
+            debug_assert_ne!(id, WILDCARD_ID, "values never contain the wildcard id");
+            let base = slot * self.words;
+            if self.stamps[slot] != self.generation {
+                self.stamps[slot] = self.generation;
+                for word in &mut self.masks[base..base + self.words] {
+                    *word = 0;
+                }
+            }
+            self.masks[base + pos / 64] |= 1u64 << (pos % 64);
+        }
+    }
+
+    /// Length of the LCS between `template_ids` and the loaded value, where
+    /// [`WILDCARD_ID`] matches any single token.  `LLCS = m − popcount(V)`
+    /// after running the recurrence over the template's tokens.
+    // mint-lint: hot
+    pub fn llcs(&mut self, template_ids: &[u32]) -> usize {
+        let m = self.value_len;
+        if m == 0 || template_ids.is_empty() {
+            return 0;
+        }
+        self.v.clear();
+        self.v.extend_from_slice(&self.all_ones);
+        let top = self.all_ones[self.words - 1];
+        for &id in template_ids {
+            let slot = id as usize;
+            let mask: &[u64] = if id == WILDCARD_ID {
+                &self.all_ones
+            } else if slot < self.stamps.len() && self.stamps[slot] == self.generation {
+                &self.masks[slot * self.words..slot * self.words + self.words]
+            } else {
+                // Symbol absent from the value: the recurrence leaves V
+                // unchanged, so skip the word loop entirely.
+                continue;
+            };
+            bitpar_step(&mut self.v, mask);
+            self.v[self.words - 1] &= top;
+        }
+        let surviving: u32 = self.v.iter().map(|w| w.count_ones()).sum();
+        m - surviving as usize
+    }
+}
+
+/// Length of the longest common subsequence of two id slices, computed with
+/// the bit-parallel kernel — `O(⌈|a|/64⌉ · |b|)` word operations instead of
+/// the two-row dynamic program's `O(|a| · |b|)` cell updates.
+///
+/// Ids are opaque symbols here (no wildcard semantics); callers must ensure
+/// distinct tokens map to distinct ids.  Result-identical to [`lcs_length`]
+/// on the corresponding token sequences.
+// mint-lint: hot
+pub fn lcs_length_ids(a: &[u32], b: &[u32]) -> usize {
+    let m = a.len();
+    if m == 0 || b.is_empty() {
+        return 0;
+    }
+    let words = m.div_ceil(64);
+    let top = if m.is_multiple_of(64) {
+        u64::MAX
+    } else {
+        (1u64 << (m % 64)) - 1
+    };
+    IDS_SCRATCH.with(|cell| {
+        let scratch = &mut *cell.borrow_mut();
+        let symbols = &mut scratch.symbols;
+        symbols.clear();
+        symbols.extend_from_slice(a);
+        symbols.sort_unstable();
+        symbols.dedup();
+        let masks = &mut scratch.masks;
+        masks.clear();
+        masks.resize(symbols.len() * words, 0);
+        for (pos, id) in a.iter().enumerate() {
+            if let Ok(slot) = symbols.binary_search(id) {
+                masks[slot * words + pos / 64] |= 1u64 << (pos % 64);
+            }
+        }
+        let v = &mut scratch.v;
+        v.clear();
+        v.resize(words, u64::MAX);
+        v[words - 1] = top;
+        for id in b {
+            if let Ok(slot) = symbols.binary_search(id) {
+                bitpar_step(v, &masks[slot * words..slot * words + words]);
+                v[words - 1] &= top;
+            }
+        }
+        let surviving: u32 = v.iter().map(|w| w.count_ones()).sum();
+        m - surviving as usize
+    })
+}
+
+/// The paper's similarity measure over interned token sequences:
+/// `|LCS| / max(len_a, len_b)`.  Result-identical to [`similarity`] on the
+/// corresponding token sequences.
+// mint-lint: hot
+pub fn similarity_ids(a: &[u32], b: &[u32]) -> f64 {
+    let denom = a.len().max(b.len());
+    if denom == 0 {
+        return 1.0;
+    }
+    lcs_length_ids(a, b) as f64 / denom as f64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn toks(s: &str) -> Vec<String> {
         tokenize(s)
+    }
+
+    /// Interns each distinct token of both slices into sequential ids.
+    fn to_ids(a: &[String], b: &[String]) -> (Vec<u32>, Vec<u32>) {
+        let mut map = std::collections::HashMap::new();
+        let mut next = 1u32;
+        let mut assign = |tokens: &[String]| -> Vec<u32> {
+            tokens
+                .iter()
+                .map(|t| {
+                    *map.entry(t.clone()).or_insert_with(|| {
+                        next += 1;
+                        next - 1
+                    })
+                })
+                .collect()
+        };
+        let ia = assign(a);
+        let ib = assign(b);
+        (ia, ib)
+    }
+
+    #[test]
+    fn bit_parallel_lcs_matches_dp_on_examples() {
+        let cases = [
+            (
+                "select * from orders where id = 1",
+                "select * from users where id = 2",
+            ),
+            ("a b a b", "a b"),
+            ("b a", "a b"),
+            ("alpha beta", "gamma delta"),
+            ("", "x y"),
+            ("x", ""),
+            ("same same same", "same same same"),
+            ("a, b, c", "c, b, a"),
+        ];
+        for (left, right) in cases {
+            let (a, b) = (toks(left), toks(right));
+            let (ia, ib) = to_ids(&a, &b);
+            assert_eq!(
+                lcs_length_ids(&ia, &ib),
+                lcs_length(&a, &b),
+                "divergence on {left:?} vs {right:?}"
+            );
+            assert_eq!(similarity_ids(&ia, &ib), similarity(&a, &b));
+        }
+    }
+
+    #[test]
+    fn bit_parallel_lcs_crosses_word_boundaries() {
+        // 150-token sequences force a three-word bit vector with carries.
+        let a: Vec<u32> = (1..=150).collect();
+        let b: Vec<u32> = (1..=150).filter(|x| x % 3 != 0).collect();
+        assert_eq!(lcs_length_ids(&a, &b), b.len());
+        let reversed: Vec<u32> = a.iter().rev().copied().collect();
+        // LCS of a sequence and its reverse (all-distinct) is 1.
+        assert_eq!(lcs_length_ids(&a, &reversed), 1);
+    }
+
+    #[test]
+    fn mask_table_scores_templates_with_wildcards() {
+        // vocab: get=1 now=2; template `get <*> now`.
+        let template = [1u32, WILDCARD_ID, 2];
+        let mut table = TokenMaskTable::default();
+        // value `get now now` → ids [1, 2, 2].
+        table.build(&[1, 2, 2], 3);
+        assert_eq!(table.value_len(), 3);
+        assert_eq!(table.llcs(&template), 3);
+        // value `get later now` → `later` unknown.
+        table.build(&[1, UNKNOWN_ID, 2], 3);
+        assert_eq!(table.llcs(&template), 3);
+        // value `get` alone: only the anchor aligns plus nothing for Var/now.
+        table.build(&[1], 3);
+        assert_eq!(table.llcs(&template), 1);
+        // empty value.
+        table.build(&[], 3);
+        assert_eq!(table.llcs(&template), 0);
+    }
+
+    #[test]
+    fn mask_table_reuse_across_values_is_clean() {
+        let mut table = TokenMaskTable::default();
+        table.build(&[1, 1, 2], 4);
+        assert_eq!(table.llcs(&[1, 2]), 2);
+        // A shorter second value must not see stale mask bits from the first.
+        table.build(&[2], 4);
+        assert_eq!(table.llcs(&[1, 2]), 1);
+        assert_eq!(table.llcs(&[3]), 0);
+        // Growing vocab reallocates cleanly.
+        table.build(&[9, 8], 10);
+        assert_eq!(table.llcs(&[9, 8]), 2);
+        assert_eq!(table.llcs(&[8, 9]), 1);
+        assert_eq!(table.llcs(&[8]), 1);
     }
 
     #[test]

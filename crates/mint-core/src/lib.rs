@@ -54,6 +54,7 @@ mod commonality;
 mod compress;
 mod config;
 mod cost;
+mod intern;
 mod lcs;
 mod merge;
 mod params;
@@ -71,7 +72,14 @@ pub use commonality::{commonality_statistics, CommonalityStats};
 pub use compress::{mint_compressed_size, CompressionBreakdown};
 pub use config::{MintConfig, SamplingMode};
 pub use cost::{CostReport, NetworkCost, StorageCost};
-pub use lcs::{lcs_length, similarity, tokenize, tokenize_borrowed, tokenize_into};
+pub use intern::{
+    value_fingerprint, InternedPrefixIndex, InternedTemplate, Interner, PrefilterStats, UNKNOWN_ID,
+    WILDCARD_ID,
+};
+pub use lcs::{
+    lcs_length, lcs_length_ids, similarity, similarity_ids, tokenize, tokenize_borrowed,
+    tokenize_into, TokenMaskTable,
+};
 pub use merge::MergeStats;
 pub use params::{ParamValue, ParamsBuffer, SpanParams, TraceParams};
 pub use samplers::{EdgeCaseSampler, HeadSampler, SamplerDecision, SymptomSampler};

@@ -1,8 +1,11 @@
 //! Per-attribute parsers and the prefix index used for online matching.
 
 use super::numeric::NumericBucketer;
-use super::template::StringTemplate;
-use crate::lcs::tokenize_into;
+use super::template::{join_tokens, StringTemplate};
+use crate::intern::{
+    value_fingerprint, InternedPrefixIndex, InternedTemplate, Interner, PrefilterStats,
+};
+use crate::lcs::{tokenize_into, TokenMaskTable};
 use crate::params::ParamValue;
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
@@ -14,6 +17,26 @@ thread_local! {
     /// neither the structural fast path nor `best_match` allocates a fresh
     /// `Vec<usize>` per attribute value.  The two consumers never nest.
     static CANDIDATE_SCRATCH: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+
+    /// Per-value interned token ids (one `Interner::lookup_into` per value).
+    static ID_SCRATCH: RefCell<Vec<u32>> = const { RefCell::new(Vec::new()) };
+
+    /// Slot ranges produced by the interned matcher; materialized into owned
+    /// parameter strings only on a successful match.
+    static RANGE_SCRATCH: RefCell<Vec<(u32, u32)>> = const { RefCell::new(Vec::new()) };
+
+    /// Bit-parallel LCS state (per-symbol masks + column vector), built once
+    /// per value and reused across every candidate scored against it.
+    static MASK_SCRATCH: RefCell<TokenMaskTable> = RefCell::new(TokenMaskTable::default());
+}
+
+/// Materializes matcher ranges into owned parameter strings — the only heap
+/// work on a successful steady-state match (the parameters are retained).
+fn params_from_ranges(tokens: &[&str], ranges: &[(u32, u32)]) -> Vec<String> {
+    ranges
+        .iter()
+        .map(|&(start, end)| join_tokens(&tokens[start as usize..end as usize]))
+        .collect()
 }
 
 /// The pattern component produced by parsing one attribute value.
@@ -104,16 +127,39 @@ impl PrefixIndex {
     }
 }
 
-/// The parser for one string-valued attribute key: a set of templates plus
-/// the prefix index used to match new values quickly.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// The parser for one string-valued attribute key: the learned templates in
+/// both representations (canonical strings for merge/export, interned ids
+/// for the hot path), the per-parser token [`Interner`], and the interned
+/// prefix index used to match new values quickly.
+///
+/// The interner is strictly parser-local: a sharded deployment's per-shard
+/// parsers each grow their own vocabulary, and cross-shard merging keeps
+/// operating on the canonical string templates, which preserves the
+/// content-addressed equivalence oracle.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StringAttributeParser {
     templates: Vec<StringTemplate>,
-    index: PrefixIndex,
+    interned: Vec<InternedTemplate>,
+    interner: Interner,
+    index: InternedPrefixIndex,
     threshold: f64,
     /// When `false`, candidate pruning is disabled and every template is
     /// scored (linear scan) — used by the ablation benchmarks.
     use_index: bool,
+    stats: PrefilterStats,
+}
+
+/// Semantic equality: two parsers are equal when they would parse every
+/// future value identically.  The interned mirror is derived state and the
+/// prefilter counters are observability, so neither participates (a serial
+/// parser and a merged shard parser with identical templates must compare
+/// equal even though their interners grew in different orders).
+impl PartialEq for StringAttributeParser {
+    fn eq(&self, other: &Self) -> bool {
+        self.templates == other.templates
+            && self.threshold == other.threshold
+            && self.use_index == other.use_index
+    }
 }
 
 impl StringAttributeParser {
@@ -121,9 +167,12 @@ impl StringAttributeParser {
     pub fn new(threshold: f64) -> Self {
         StringAttributeParser {
             templates: Vec::new(),
-            index: PrefixIndex::new(),
+            interned: Vec::new(),
+            interner: Interner::new(),
+            index: InternedPrefixIndex::new(),
             threshold,
             use_index: true,
+            stats: PrefilterStats::default(),
         }
     }
 
@@ -143,46 +192,152 @@ impl StringAttributeParser {
         self.templates.len()
     }
 
+    /// Running prefilter effectiveness counters (see [`PrefilterStats`]).
+    pub fn prefilter_stats(&self) -> PrefilterStats {
+        self.stats
+    }
+
     /// Adds a template built from a raw value (all-constant tokens) and
     /// returns its id.  Used by the offline warm-up after clustering.
     pub fn add_template(&mut self, template: StringTemplate) -> usize {
         let id = self.templates.len();
-        self.index.insert(id, &template);
+        let interned = InternedTemplate::from_template(&template, &mut self.interner);
+        self.index.insert(id, &interned);
+        self.interned.push(interned);
         self.templates.push(template);
         id
     }
 
-    /// Finds the best-matching template for a tokenized value.
-    /// Returns `(template_id, similarity)`.
-    pub fn best_match<S: AsRef<str>>(&self, tokens: &[S]) -> Option<(usize, f64)> {
-        let mut best: Option<(usize, f64)> = CANDIDATE_SCRATCH.with(|cell| {
-            let candidate_ids = &mut *cell.borrow_mut();
-            if self.use_index {
-                self.index.candidates_into(tokens, candidate_ids);
-            } else {
-                candidate_ids.clear();
-                candidate_ids.extend(0..self.templates.len());
-            }
+    /// Re-lowers template `id` onto the interner after a string-level
+    /// mutation (generalization).  Generalization only ever *keeps or drops*
+    /// constants — `merge` copies matched `Const` tokens from the template
+    /// side — so this never grows the vocabulary and value ids stay stable.
+    fn reintern(&mut self, id: usize) {
+        let before = self.interner.len();
+        self.interned[id] =
+            InternedTemplate::from_template(&self.templates[id], &mut self.interner);
+        debug_assert_eq!(
+            before,
+            self.interner.len(),
+            "generalization must not grow the vocabulary"
+        );
+    }
+
+    /// Candidate template ids for a value whose first token interned to
+    /// `first`, in index order.
+    // mint-lint: hot
+    fn candidates_for(&self, first: Option<u32>, out: &mut Vec<usize>) {
+        if self.use_index {
+            self.index.candidates_into(first, out);
+        } else {
+            out.clear();
+            out.extend(0..self.interned.len());
+        }
+    }
+
+    /// Scores candidate `id` against the value loaded in `table`, keeping
+    /// the strict-greater running best (ties break toward the earlier scan
+    /// position, exactly like the pre-interning scorer).  With `prefilter`
+    /// set, candidates provably below threshold are skipped before any LCS
+    /// call; the skip can never change an above-threshold winner because the
+    /// prefilter bounds are certificates (see
+    /// [`InternedTemplate::prefilter_admits`]) — an admitted-or-skipped
+    /// sub-threshold best is observationally equivalent to the parser, which
+    /// only branches on `score >= threshold`.
+    // mint-lint: hot
+    #[allow(clippy::too_many_arguments)]
+    fn score_candidate(
+        &mut self,
+        id: usize,
+        value_len: usize,
+        fp: u128,
+        unknown: u32,
+        prefilter: bool,
+        table: &mut TokenMaskTable,
+        best: &mut Option<(usize, f64)>,
+    ) {
+        self.stats.candidates_considered += 1;
+        if prefilter && !self.interned[id].prefilter_admits(value_len, fp, unknown, self.threshold)
+        {
+            self.stats.candidates_skipped += 1;
+            return;
+        }
+        self.stats.lcs_calls += 1;
+        let score = self.interned[id].similarity_with(table);
+        if best.map(|(_, s)| score > s).unwrap_or(true) {
+            *best = Some((id, score));
+        }
+    }
+
+    /// Interned best-match: candidate phase in index order, then the full
+    /// scan whenever pruning found nothing at or above threshold (a
+    /// generalized template may no longer share the first token).  The
+    /// selection rule and the fallback trigger are byte-for-byte the
+    /// pre-interning logic; only the scoring kernel and the prefilter gate
+    /// are new.
+    // mint-lint: hot
+    fn best_match_interned(&mut self, ids: &[u32], prefilter: bool) -> Option<(usize, f64)> {
+        let value_len = ids.len();
+        let (fp, unknown) = value_fingerprint(ids);
+        MASK_SCRATCH.with(|mask_cell| {
+            let table = &mut *mask_cell.borrow_mut();
+            table.build(ids, self.interner.vocab_size());
             let mut best: Option<(usize, f64)> = None;
-            for &id in candidate_ids.iter() {
-                let score = self.templates[id].similarity_to(tokens);
-                if best.map(|(_, s)| score > s).unwrap_or(true) {
-                    best = Some((id, score));
+            CANDIDATE_SCRATCH.with(|cell| {
+                let candidate_ids = &mut *cell.borrow_mut();
+                self.candidates_for(ids.first().copied(), candidate_ids);
+                for &id in candidate_ids.iter() {
+                    self.score_candidate(id, value_len, fp, unknown, prefilter, table, &mut best);
+                }
+            });
+            if self.use_index && best.map(|(_, s)| s < self.threshold).unwrap_or(true) {
+                for id in 0..self.interned.len() {
+                    self.score_candidate(id, value_len, fp, unknown, prefilter, table, &mut best);
                 }
             }
             best
-        });
-        // Fall back to a full scan when pruning found nothing acceptable:
-        // generalized templates may no longer share the first token.
-        if self.use_index && best.map(|(_, s)| s < self.threshold).unwrap_or(true) {
-            for (id, template) in self.templates.iter().enumerate() {
-                let score = template.similarity_to(tokens);
-                if best.map(|(_, s)| score > s).unwrap_or(true) {
-                    best = Some((id, score));
+        })
+    }
+
+    /// Finds the best-matching template for a tokenized value.
+    /// Returns `(template_id, similarity)`.
+    ///
+    /// The public entry point is exact (no prefilter): it scores every
+    /// candidate with the bit-parallel kernel, which is score-identical to
+    /// the string LCS.
+    pub fn best_match<S: AsRef<str>>(&self, tokens: &[S]) -> Option<(usize, f64)> {
+        ID_SCRATCH.with(|id_cell| {
+            let ids = &mut *id_cell.borrow_mut();
+            self.interner.lookup_into(tokens, ids);
+            MASK_SCRATCH.with(|mask_cell| {
+                let table = &mut *mask_cell.borrow_mut();
+                table.build(ids, self.interner.vocab_size());
+                let mut best: Option<(usize, f64)> = CANDIDATE_SCRATCH.with(|cell| {
+                    let candidate_ids = &mut *cell.borrow_mut();
+                    self.candidates_for(ids.first().copied(), candidate_ids);
+                    let mut best: Option<(usize, f64)> = None;
+                    for &id in candidate_ids.iter() {
+                        let score = self.interned[id].similarity_with(table);
+                        if best.map(|(_, s)| score > s).unwrap_or(true) {
+                            best = Some((id, score));
+                        }
+                    }
+                    best
+                });
+                // Fall back to a full scan when pruning found nothing
+                // acceptable: generalized templates may no longer share the
+                // first token.
+                if self.use_index && best.map(|(_, s)| s < self.threshold).unwrap_or(true) {
+                    for id in 0..self.interned.len() {
+                        let score = self.interned[id].similarity_with(table);
+                        if best.map(|(_, s)| score > s).unwrap_or(true) {
+                            best = Some((id, score));
+                        }
+                    }
                 }
-            }
-        }
-        best
+                best
+            })
+        })
     }
 
     /// Parses a raw string value: matches (or creates) a template and
@@ -200,9 +355,32 @@ impl StringAttributeParser {
         self.parse_with_buffer(value, &mut tokens)
     }
 
+    /// Interned structural+extraction probe: matches the value's ids against
+    /// template `id` and materializes the parameters on success.  Failed
+    /// probes touch no heap (ranges live in scratch).
+    // mint-lint: hot
+    fn try_extract(&self, id: usize, ids: &[u32], tokens: &[&str]) -> Option<Vec<String>> {
+        RANGE_SCRATCH.with(|cell| {
+            let ranges = &mut *cell.borrow_mut();
+            if self.interned[id].match_ranges(ids, ranges) {
+                Some(params_from_ranges(tokens, ranges))
+            } else {
+                None
+            }
+        })
+    }
+
     /// [`Self::parse`], tokenizing into a caller-provided buffer (cleared
     /// first).  A caller parsing many values — one span carries many
     /// attributes — pays for one token `Vec` total instead of one per value.
+    ///
+    /// Interning is deliberately *lazy*: the structural fast path — which
+    /// wins for almost every steady-state value — runs on the borrowed
+    /// `&str` tokens with a single first-token vocabulary lookup for
+    /// candidate bucketing, because hashing every token costs more than the
+    /// handful of string compares it replaces (measured).  Only when the
+    /// structural probe misses is the value lowered to dense `&[u32]` ids
+    /// for the prefiltered bit-parallel similarity fallback.
     // mint-lint: hot
     pub fn parse_with_buffer<'a>(
         &mut self,
@@ -212,22 +390,18 @@ impl StringAttributeParser {
         tokenize_into(value, tokens);
         let tokens = &tokens[..];
 
-        // Fast path: structural alignment against the indexed candidates.
-        // In steady state almost every value aligns with an existing
-        // template, so the quadratic LCS similarity is rarely needed.
+        // Fast path: structural alignment against the indexed candidates, on
+        // borrowed strings.  In steady state almost every value aligns with
+        // an existing template, so the LCS similarity is rarely needed.
         // Candidates with more constant tokens are preferred so an overly
-        // general template does not shadow a more specific one; ties break
-        // by id so the scan order is fully deterministic.
+        // general template does not shadow a more specific one; ties break by
+        // id so the scan order is fully deterministic.
+        let first_id = tokens.first().map(|t| self.interner.lookup(t));
         let structural = CANDIDATE_SCRATCH.with(|cell| {
             let candidates = &mut *cell.borrow_mut();
-            if self.use_index {
-                self.index.candidates_into(tokens, candidates);
-            } else {
-                candidates.clear();
-                candidates.extend(0..self.templates.len());
-            }
+            self.candidates_for(first_id, candidates);
             candidates.sort_unstable_by_key(|&id| {
-                (std::cmp::Reverse(self.templates[id].const_count()), id)
+                (std::cmp::Reverse(self.interned[id].const_count()), id)
             });
             candidates.iter().find_map(|&id| {
                 self.templates[id]
@@ -235,38 +409,51 @@ impl StringAttributeParser {
                     .map(|params| (id, params))
             })
         });
-        // The scratch borrow has ended; `best_match` below re-enters it.
+        // The scratch borrow has ended; the fallback below re-enters it.
         if let Some(hit) = structural {
             return hit;
         }
 
-        match self.best_match(tokens) {
-            Some((id, score)) if score >= self.threshold => {
-                if let Some(params) = self.templates[id].match_and_extract(tokens) {
-                    return (id, params);
+        // Slow path: lower the value to interned ids and run the prefiltered
+        // bit-parallel similarity against every surviving candidate.
+        ID_SCRATCH.with(|id_cell| {
+            let ids = &mut *id_cell.borrow_mut();
+            self.interner.lookup_into(tokens, ids);
+            match self.best_match_interned(ids, true) {
+                Some((id, score)) if score >= self.threshold => {
+                    if let Some(params) = self.try_extract(id, ids, tokens) {
+                        return (id, params);
+                    }
+                    // Similar but the skeleton does not align: generalize the
+                    // template so this (and future) values fit, then
+                    // re-extract.  Generalization never grows the vocabulary
+                    // (merged constants are a subset of the old ones), so the
+                    // value ids computed above remain valid.
+                    let first_before = self.interned[id].first_const();
+                    self.templates[id].generalize(tokens);
+                    self.reintern(id);
+                    if self.interned[id].first_const() != first_before {
+                        self.index.rebuild(&self.interned);
+                    }
+                    let params = self
+                        .try_extract(id, ids, tokens)
+                        .unwrap_or_else(|| vec![value.to_owned()]);
+                    (id, params)
                 }
-                // Similar but the skeleton does not align: generalize the
-                // template so this (and future) values fit, then re-extract.
-                let first_before = self.templates[id].first_const().map(str::to_owned);
-                self.templates[id].generalize(tokens);
-                if self.templates[id].first_const().map(str::to_owned) != first_before {
-                    self.index.rebuild(&self.templates);
+                _ => {
+                    // Seed a new template, pre-masking identifier-like tokens
+                    // so one-off values (ids, IPs, counters) do not each
+                    // become a distinct pattern.  Interning the new constants
+                    // grows the vocabulary, so the value ids are refreshed
+                    // before extraction.
+                    let template = StringTemplate::from_raw_tokens(tokens);
+                    let id = self.add_template(template);
+                    self.interner.lookup_into(tokens, ids);
+                    let params = self.try_extract(id, ids, tokens).unwrap_or_default();
+                    (id, params)
                 }
-                let params = self.templates[id]
-                    .match_and_extract(tokens)
-                    .unwrap_or_else(|| vec![value.to_owned()]);
-                (id, params)
             }
-            _ => {
-                // Seed a new template, pre-masking identifier-like tokens so
-                // one-off values (ids, IPs, counters) do not each become a
-                // distinct pattern.
-                let template = StringTemplate::from_raw_tokens(tokens);
-                let params = template.match_and_extract(tokens).unwrap_or_default();
-                let id = self.add_template(template);
-                (id, params)
-            }
-        }
+        })
     }
 
     /// Total bytes needed to store this parser's templates.
@@ -415,11 +602,62 @@ mod tests {
             parser.parse(value);
         }
         let tokens = tokenize_borrowed("SELECT * FROM zzz");
-        let candidates = parser.index.candidates(&tokens);
+        let mut ids = Vec::new();
+        parser.interner.lookup_into(&tokens, &mut ids);
+        let mut candidates = vec![99usize; 4];
+        parser
+            .index
+            .candidates_into(ids.first().copied(), &mut candidates);
         assert_eq!(candidates.len(), 1);
-        let mut reused = vec![99usize; 4];
-        parser.index.candidates_into(&tokens, &mut reused);
-        assert_eq!(reused, candidates);
+        // The string prefix index (kept for offline/bench consumers) prunes
+        // identically.
+        let mut string_index = PrefixIndex::new();
+        string_index.rebuild(parser.templates());
+        assert_eq!(string_index.candidates(&tokens), candidates);
+    }
+
+    #[test]
+    fn parse_after_interning_matches_string_semantics() {
+        // The anchor-in-slot regression exercised through the interned
+        // matcher: the DP fallback must still recover it.
+        let mut parser = StringAttributeParser::new(0.6);
+        parser.parse("get x now");
+        parser.parse("get y now");
+        let (id, params) = parser.parse("get now now");
+        assert_eq!(id, 0);
+        assert_eq!(params, vec!["now".to_string()]);
+        // Unknown (out-of-vocabulary) tokens extract as parameters.
+        let (id2, params2) = parser.parse("get cart:user-77 now");
+        assert_eq!(id2, 0);
+        assert_eq!(params2, vec!["cart : user - 77".to_string()]);
+    }
+
+    #[test]
+    fn prefilter_counters_advance_on_similarity_fallback() {
+        let mut parser = StringAttributeParser::new(0.8);
+        parser.parse("SELECT * FROM orders WHERE id = 1");
+        parser.parse("HGETALL cart:abc");
+        // A value that hits no structural match forces the fallback; the
+        // unrelated template is a provable loser the prefilter skips.
+        parser.parse("SELECT name FROM users WHERE tenant = 9");
+        let stats = parser.prefilter_stats();
+        assert!(stats.candidates_considered > 0);
+        assert_eq!(
+            stats.candidates_considered,
+            stats.candidates_skipped + stats.lcs_calls
+        );
+        assert_eq!(stats.lcs_calls_avoided(), stats.candidates_skipped);
+    }
+
+    #[test]
+    fn parser_equality_ignores_derived_state() {
+        let mut a = StringAttributeParser::new(0.8);
+        let mut b = StringAttributeParser::new(0.8);
+        a.parse("alpha beta gamma");
+        b.parse("alpha beta gamma");
+        // Different fallback traffic → different counters, same semantics.
+        b.parse("alpha beta gamma");
+        assert_eq!(a, b);
     }
 
     #[test]

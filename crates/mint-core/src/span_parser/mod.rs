@@ -481,6 +481,17 @@ impl SpanParser {
             .collect()
     }
 
+    /// Aggregated prefilter counters across the per-key string parsers.
+    pub fn prefilter_stats(&self) -> crate::intern::PrefilterStats {
+        let mut total = crate::intern::PrefilterStats::default();
+        for parser in self.attr_parsers.values() {
+            if let AttributeParser::Strings(p) = parser {
+                total.absorb(p.prefilter_stats());
+            }
+        }
+        total
+    }
+
     /// Builds the read-only catalog snapshot for reporting / querying.
     pub fn catalog(&self) -> PatternCatalog {
         let mut templates = HashMap::new();

@@ -38,6 +38,18 @@ thread_local! {
     /// Flat `(template_len + 1) × (tokens_len + 1)` reachability table for the
     /// exact matcher's DP fallback, reused across calls.
     static MATCH_SCRATCH: RefCell<Vec<bool>> = const { RefCell::new(Vec::new()) };
+
+    /// Reusable `(start, end)` slot-range buffer for the string matchers, so
+    /// a failed match probe never allocates (ranges are materialized into
+    /// parameter strings only after the whole match succeeds).
+    static SPAN_SCRATCH: RefCell<Vec<(u32, u32)>> = const { RefCell::new(Vec::new()) };
+
+    /// Spare `String` pool for [`StringTemplate::match_and_extract_into`]:
+    /// when a recycled parameter buffer shrinks (the matched template has
+    /// fewer slots than the previous one), the dropped `String`s park here
+    /// with their capacity intact instead of being freed — so alternating
+    /// between templates of different arity stays allocation-free.
+    static PARAM_POOL: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
 }
 
 impl StringTemplate {
@@ -179,19 +191,75 @@ impl StringTemplate {
     /// answer is already leftmost-shortest, so the two tiers never disagree.
     // mint-lint: hot
     pub fn match_and_extract<S: AsRef<str>>(&self, tokens: &[S]) -> Option<Vec<String>> {
-        if let Some(params) = self.match_greedy(tokens) {
-            return Some(params);
+        SPAN_SCRATCH.with(|cell| {
+            let spans = &mut *cell.borrow_mut();
+            if self.match_spans(tokens, spans) {
+                Some(
+                    spans
+                        .iter()
+                        .map(|&(start, end)| join_tokens(&tokens[start as usize..end as usize]))
+                        .collect(),
+                )
+            } else {
+                None
+            }
+        })
+    }
+
+    /// [`Self::match_and_extract`], writing the parameters into a
+    /// caller-recycled buffer instead of allocating a fresh `Vec<String>`:
+    /// existing `String`s are cleared and refilled in place, so steady-state
+    /// extraction against a stable template shape performs zero allocations
+    /// once the buffers have grown.  Returns `false` (leaving `params` with
+    /// stale content) when the skeleton does not align.
+    // mint-lint: hot
+    pub fn match_and_extract_into<S: AsRef<str>>(
+        &self,
+        tokens: &[S],
+        params: &mut Vec<String>,
+    ) -> bool {
+        SPAN_SCRATCH.with(|cell| {
+            let spans = &mut *cell.borrow_mut();
+            if !self.match_spans(tokens, spans) {
+                return false;
+            }
+            PARAM_POOL.with(|pool| {
+                let pool = &mut *pool.borrow_mut();
+                while params.len() > spans.len() {
+                    if let Some(mut spare) = params.pop() {
+                        spare.clear();
+                        pool.push(spare);
+                    }
+                }
+                while params.len() < spans.len() {
+                    params.push(pool.pop().unwrap_or_default());
+                }
+            });
+            for (param, &(start, end)) in params.iter_mut().zip(spans.iter()) {
+                join_tokens_into(&tokens[start as usize..end as usize], param);
+            }
+            true
+        })
+    }
+
+    /// Allocation-free core of the two-tier matcher: writes one
+    /// `(start, end)` token range per variable slot into `spans` (cleared
+    /// first) and reports whether the skeleton aligned.
+    // mint-lint: hot
+    fn match_spans<S: AsRef<str>>(&self, tokens: &[S], spans: &mut Vec<(u32, u32)>) -> bool {
+        if self.match_greedy_spans(tokens, spans) {
+            return true;
         }
-        self.match_exact(tokens)
+        self.match_exact_spans(tokens, spans)
     }
 
     /// Greedy one-pass matcher: each variable slot runs until the first
-    /// occurrence of the next constant anchor.  Sound (a `Some` is always a
+    /// occurrence of the next constant anchor.  Sound (success is always a
     /// valid match) but incomplete — it misses matches where a slot must
     /// swallow a token equal to its anchor.
     // mint-lint: hot
-    fn match_greedy<S: AsRef<str>>(&self, tokens: &[S]) -> Option<Vec<String>> {
-        let mut params = Vec::with_capacity(self.var_count());
+    fn match_greedy_spans<S: AsRef<str>>(&self, tokens: &[S], spans: &mut Vec<(u32, u32)>) -> bool {
+        spans.clear();
         let mut pos = 0usize;
         let mut i = 0usize;
         while i < self.tokens.len() {
@@ -201,7 +269,7 @@ impl StringTemplate {
                         pos += 1;
                         i += 1;
                     } else {
-                        return None;
+                        return false;
                     }
                 }
                 TemplateToken::Var => {
@@ -217,21 +285,17 @@ impl StringTemplate {
                                 pos += 1;
                             }
                             if pos >= tokens.len() {
-                                return None;
+                                return false;
                             }
                         }
                         None => pos = tokens.len(),
                     }
-                    params.push(join_tokens(&tokens[start..pos]));
+                    spans.push((start as u32, pos as u32));
                     i += 1;
                 }
             }
         }
-        if pos == tokens.len() {
-            Some(params)
-        } else {
-            None
-        }
+        pos == tokens.len()
     }
 
     /// Exact matcher: computes the reachability table
@@ -240,7 +304,8 @@ impl StringTemplate {
     /// remainder matchable.  The table lives in a reusable thread-local
     /// buffer.
     // mint-lint: hot
-    fn match_exact<S: AsRef<str>>(&self, tokens: &[S]) -> Option<Vec<String>> {
+    fn match_exact_spans<S: AsRef<str>>(&self, tokens: &[S], spans: &mut Vec<(u32, u32)>) -> bool {
+        spans.clear();
         let n = self.tokens.len();
         let m = tokens.len();
         let width = m + 1;
@@ -274,10 +339,9 @@ impl StringTemplate {
                 }
             }
             if !can[0] {
-                return None;
+                return false;
             }
             // Forward reconstruction: every step stays on a reachable cell.
-            let mut params = Vec::with_capacity(self.var_count());
             let mut pos = 0usize;
             for (i, token) in self.tokens.iter().enumerate() {
                 match token {
@@ -288,13 +352,37 @@ impl StringTemplate {
                             .find(|&p| next[p])
                             // mint-lint: allow(L003) — the backward pruning pass guarantees every reachable cell has a reachable successor
                             .expect("reachable Var cell must have a reachable successor");
-                        params.push(join_tokens(&tokens[pos..end]));
+                        spans.push((pos as u32, end as u32));
                         pos = end;
                     }
                 }
             }
             debug_assert_eq!(pos, m);
-            Some(params)
+            true
+        })
+    }
+
+    /// Test-only view of the greedy tier as owned parameters.
+    #[cfg(test)]
+    fn match_greedy<S: AsRef<str>>(&self, tokens: &[S]) -> Option<Vec<String>> {
+        let mut spans = Vec::new();
+        self.match_greedy_spans(tokens, &mut spans).then(|| {
+            spans
+                .iter()
+                .map(|&(s, e)| join_tokens(&tokens[s as usize..e as usize]))
+                .collect()
+        })
+    }
+
+    /// Test-only view of the exact tier as owned parameters.
+    #[cfg(test)]
+    fn match_exact<S: AsRef<str>>(&self, tokens: &[S]) -> Option<Vec<String>> {
+        let mut spans = Vec::new();
+        self.match_exact_spans(tokens, &mut spans).then(|| {
+            spans
+                .iter()
+                .map(|&(s, e)| join_tokens(&tokens[s as usize..e as usize]))
+                .collect()
         })
     }
 
@@ -363,9 +451,23 @@ impl fmt::Display for StringTemplate {
     }
 }
 
+/// Joins slot tokens with single spaces into a recycled parameter string
+/// (cleared first) — the zero-allocation twin of [`join_tokens`], used when
+/// the caller owns a reusable `String`.
+// mint-lint: hot
+pub(crate) fn join_tokens_into<S: AsRef<str>>(tokens: &[S], out: &mut String) {
+    out.clear();
+    for (index, token) in tokens.iter().enumerate() {
+        if index > 0 {
+            out.push(' ');
+        }
+        out.push_str(token.as_ref());
+    }
+}
+
 /// Joins slot tokens with single spaces into one owned parameter string.
 // mint-lint: hot
-fn join_tokens<S: AsRef<str>>(tokens: &[S]) -> String {
+pub(crate) fn join_tokens<S: AsRef<str>>(tokens: &[S]) -> String {
     if tokens.is_empty() {
         return String::new();
     }

@@ -1,0 +1,220 @@
+//! Property tests for the interned-id similarity path.
+//!
+//! The ingest hot path no longer scores templates on `&[&str]`: tokens are
+//! interned to dense `u32` ids once per value, LCS runs as a bit-parallel
+//! kernel over those ids, and two exact prefilters (length bound + token-bag
+//! fingerprint bound) skip hopeless candidates before any LCS call.  None of
+//! that is allowed to change observable behaviour, so the invariants are:
+//!
+//! 1. **Kernel equivalence** — `lcs_length_ids` / `similarity_ids` on
+//!    interned ids equal the classic DP `lcs_length` / `similarity` on the
+//!    original strings, for arbitrary token sequences.
+//! 2. **Template-scoring equivalence** — `InternedTemplate::similarity_with`
+//!    (wildcards included) equals `StringTemplate::similarity_to`.
+//! 3. **Prefilter soundness** — whenever `prefilter_admits` rejects a
+//!    candidate, its true similarity is strictly below the threshold.  The
+//!    prefilter may only discard losers, never a winner.
+//! 4. **Winner equivalence** — `StringAttributeParser::best_match` picks the
+//!    same template id and score as a straightforward argmax over
+//!    `similarity_to` with first-wins tie-breaking, including for values
+//!    containing tokens the parser has never seen (out-of-vocabulary ids).
+//!
+//! The alphabet is tiny so that token collisions, ties, and shared prefixes
+//! are common rather than rare.
+
+use mint_core::span_parser::{PrefixIndex, StringAttributeParser};
+use mint_core::{
+    lcs_length, lcs_length_ids, similarity, similarity_ids, tokenize_into, value_fingerprint,
+    InternedTemplate, Interner, StringTemplate, TokenMaskTable,
+};
+use proptest::prelude::*;
+
+/// Small alphabet plus digit-bearing tokens (pre-masked to `<*>` in raw
+/// templates) and a token the interner never sees during warm-up.
+const WORDS: [&str; 6] = ["get", "set", "now", "run", "job", "end"];
+
+fn word() -> impl Strategy<Value = String> {
+    (0usize..WORDS.len() + 2).prop_map(|i| {
+        if i < WORDS.len() {
+            WORDS[i].to_owned()
+        } else {
+            // Digit-bearing tokens: pre-masked to `<*>` in raw templates.
+            (i * 7).to_string()
+        }
+    })
+}
+
+fn words(min: usize, max: usize) -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec(word(), min..max)
+}
+
+/// Interns both sequences through one vocabulary, as the parser does.
+fn intern_pair(a: &[String], b: &[String]) -> (Vec<u32>, Vec<u32>) {
+    let mut interner = Interner::new();
+    let ia: Vec<u32> = a.iter().map(|t| interner.intern(t)).collect();
+    let ib: Vec<u32> = b.iter().map(|t| interner.intern(t)).collect();
+    (ia, ib)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Invariant 1: the bit-parallel kernel equals the classic DP.
+    #[test]
+    fn interned_lcs_equals_string_lcs(a in words(0, 12), b in words(0, 12)) {
+        let (ia, ib) = intern_pair(&a, &b);
+        prop_assert_eq!(lcs_length_ids(&ia, &ib), lcs_length(&a, &b));
+        let (sa, sb) = (similarity_ids(&ia, &ib), similarity(&a, &b));
+        prop_assert!(
+            (sa - sb).abs() < 1e-12,
+            "similarity_ids {} != similarity {} for {:?} / {:?}",
+            sa, sb, a, b
+        );
+    }
+
+    /// Invariant 2: interned template scoring equals string template scoring,
+    /// wildcards and all.
+    #[test]
+    fn interned_template_similarity_equals_string_path(
+        seed in words(1, 10),
+        value in words(1, 10),
+    ) {
+        // Raw seeding pre-masks digit tokens into `<*>` slots.
+        let template = StringTemplate::from_raw_tokens(&seed);
+        let mut interner = Interner::new();
+        let interned = InternedTemplate::from_template(&template, &mut interner);
+        let ids: Vec<u32> = value.iter().map(|t| interner.lookup(t)).collect();
+
+        let mut table = TokenMaskTable::new();
+        table.build(&ids, interner.vocab_size());
+        let got = interned.similarity_with(&mut table);
+        let want = template.similarity_to(&value);
+        prop_assert!(
+            (got - want).abs() < 1e-12,
+            "interned similarity {} != string similarity {} (template {:?}, value {:?})",
+            got, want, template.masked(), value
+        );
+    }
+
+    /// Invariant 3: the prefilter is an upper bound — a rejected candidate
+    /// never has true similarity at or above the threshold.
+    #[test]
+    fn prefilter_never_rejects_a_candidate_that_meets_threshold(
+        seed in words(1, 10),
+        value in words(1, 10),
+        threshold in 0.05f64..1.0,
+    ) {
+        let template = StringTemplate::from_raw_tokens(&seed);
+        let mut interner = Interner::new();
+        let interned = InternedTemplate::from_template(&template, &mut interner);
+        let ids: Vec<u32> = value.iter().map(|t| interner.lookup(t)).collect();
+        let (fp, unknown) = value_fingerprint(&ids);
+
+        if !interned.prefilter_admits(ids.len(), fp, unknown, threshold) {
+            let mut table = TokenMaskTable::new();
+            table.build(&ids, interner.vocab_size());
+            let sim = interned.similarity_with(&mut table);
+            prop_assert!(
+                sim < threshold,
+                "prefilter rejected template {:?} for {:?} but similarity {} >= {}",
+                template.masked(), value, sim, threshold
+            );
+        }
+    }
+
+    /// Invariant 4: the interned parser's best_match equals the string-path
+    /// argmax with first-wins tie-breaking — including for values full of
+    /// out-of-vocabulary tokens.
+    #[test]
+    fn best_match_equals_string_argmax(
+        seeds in proptest::collection::vec(words(1, 8), 1..6),
+        raw_value in words(0, 8),
+        oov in proptest::collection::vec("[a-z]{9,12}", 0..3),
+    ) {
+        let mut parser = StringAttributeParser::new(0.5);
+        for seed in &seeds {
+            parser.add_template(StringTemplate::from_raw_tokens(seed));
+        }
+        // Splice never-interned tokens into the value.
+        let mut value = raw_value;
+        value.extend(oov);
+
+        let joined = value.join(" ");
+        let mut tokens = Vec::new();
+        tokenize_into(&joined, &mut tokens);
+
+        // String-path replica of the pre-interning scorer: prefix-index
+        // candidate phase first, then a full scan whenever pruning found
+        // nothing at or above threshold; strict `>` so the earlier scan
+        // position wins ties.
+        let mut index = PrefixIndex::new();
+        index.rebuild(parser.templates());
+        let mut want: Option<(usize, f64)> = None;
+        for id in index.candidates(&tokens) {
+            let score = parser.templates()[id].similarity_to(&tokens);
+            if want.map(|(_, s)| score > s).unwrap_or(true) {
+                want = Some((id, score));
+            }
+        }
+        if want.map(|(_, s)| s < 0.5).unwrap_or(true) {
+            for (id, template) in parser.templates().iter().enumerate() {
+                let score = template.similarity_to(&tokens);
+                if want.map(|(_, s)| score > s).unwrap_or(true) {
+                    want = Some((id, score));
+                }
+            }
+        }
+
+        let got = parser.best_match(&tokens);
+        match (got, want) {
+            (None, None) => {}
+            (Some((gi, gs)), Some((wi, ws))) => {
+                prop_assert_eq!(gi, wi, "winner differs for value {:?}", value);
+                prop_assert!((gs - ws).abs() < 1e-12, "score {} != {}", gs, ws);
+            }
+            (got, want) => prop_assert!(false, "got {:?}, want {:?}", got, want),
+        }
+    }
+
+    /// Parsing through the interned pipeline preserves the reconstruction
+    /// invariant: skeleton + params reproduce the normalized value.
+    #[test]
+    fn parse_reconstructs_through_interned_pipeline(
+        values in proptest::collection::vec(words(1, 8), 1..12),
+    ) {
+        let mut parser = StringAttributeParser::new(0.5);
+        for value in &values {
+            let joined = value.join(" ");
+            let (id, params) = parser.parse(&joined);
+            let template = &parser.templates()[id];
+            prop_assert_eq!(params.len(), template.var_count());
+            prop_assert_eq!(template.reconstruct(&params), joined);
+        }
+    }
+}
+
+/// Pinned examples: the prefilter bounds at their edge cases.
+#[test]
+fn prefilter_edge_cases() {
+    let mut interner = Interner::new();
+    let template = InternedTemplate::from_template(
+        &StringTemplate::from_tokens(&["get", "cart"]),
+        &mut interner,
+    );
+
+    // Identical value: must always be admitted at any threshold <= 1.
+    let ids: Vec<u32> = ["get", "cart"].iter().map(|t| interner.lookup(t)).collect();
+    let (fp, unknown) = value_fingerprint(&ids);
+    assert!(template.prefilter_admits(ids.len(), fp, unknown, 1.0));
+
+    // Fully disjoint value: similarity is 0, reject at any positive threshold.
+    let other: Vec<u32> = ["run", "job"].iter().map(|t| interner.intern(t)).collect();
+    let (fp, unknown) = value_fingerprint(&other);
+    assert!(!template.prefilter_admits(other.len(), fp, unknown, 0.05));
+
+    // All-unknown value: nothing can match a template constant.
+    let unknown_ids = vec![mint_core::UNKNOWN_ID, mint_core::UNKNOWN_ID];
+    let (fp, unk) = value_fingerprint(&unknown_ids);
+    assert_eq!(unk, 2);
+    assert!(!template.prefilter_admits(unknown_ids.len(), fp, unk, 0.05));
+}

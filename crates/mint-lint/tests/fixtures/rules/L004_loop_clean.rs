@@ -1,0 +1,16 @@
+// The allocation-free counterpart: the loop body works on borrowed tokens
+// and a caller-recycled buffer, so the hot function performs no per-token
+// heap traffic.  A cold helper may still allocate freely.
+// mint-lint: hot
+fn hot_lookup_ids(values: &[&str], out: &mut Vec<u64>) {
+    out.clear();
+    for value in values {
+        for token in value.split(' ') {
+            out.push(token.len() as u64);
+        }
+    }
+}
+
+fn cold_vocabulary(values: &[&str]) -> Vec<String> {
+    values.iter().map(|v| v.to_string()).collect()
+}

@@ -1,0 +1,14 @@
+// A hot-path function that materializes an owned `String` for every token
+// of every value it sees — the per-iteration `to_string` is exactly the
+// allocation pattern the interned ingest path removed, and the regression
+// L004 must keep out of the hot set.
+// mint-lint: hot
+fn hot_lookup_ids(values: &[&str], out: &mut Vec<u64>) {
+    out.clear();
+    for value in values {
+        for token in value.split(' ') {
+            let owned = token.to_string();
+            out.push(owned.len() as u64);
+        }
+    }
+}

@@ -114,6 +114,26 @@ fn l004_hot_path_allocations() {
     );
 }
 
+/// The interned-ingest regression class: a hot function allocating an owned
+/// `String` per token inside a loop must fire, and its buffer-reuse rewrite
+/// (with a cold allocator alongside) must stay silent.
+#[test]
+fn l004_per_iteration_allocation_in_hot_loop() {
+    let report = lint_fixture("L004_loop_violation.rs");
+    let hits = codes(&report).iter().filter(|c| **c == "L004").count();
+    assert_eq!(
+        hits, 1,
+        "the to_string in the token loop: {:?}",
+        report.diagnostics
+    );
+    let clean = lint_fixture("L004_loop_clean.rs");
+    assert!(
+        !codes(&clean).contains(&"L004"),
+        "borrowed tokens + recycled buffer must pass: {:?}",
+        clean.diagnostics
+    );
+}
+
 #[test]
 fn l005_ambient_time_and_rng() {
     let report = lint_fixture("L005_violation.rs");
